@@ -1,0 +1,105 @@
+"""F1 — satisfaction distributions: LID vs the baseline landscape.
+
+Regenerates the motivating comparison of §1/§3: per-node satisfaction
+statistics (mean / p10 / p50 / min) for LID against the natural
+comparators on each overlay scenario:
+
+- random maximal matching (weight-blind control),
+- best-response dynamics (Gai et al. [3]; snapshot if oscillating),
+- stable fixtures hybrid (when a stable matching is found),
+- exact optimum (MILP).
+
+Expected shape: OPT ≥ LID > best-response snapshot ≥ random in mean
+satisfaction; LID captures most of OPT (≥ ~80%) on every scenario,
+while the weight-blind control loses 15–40%.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    best_response_dynamics,
+    max_satisfaction_bmatching_milp,
+    random_bmatching,
+    stable_fixtures_matching,
+)
+from repro.core.lid import solve_lid
+from repro.overlay import SCENARIOS, build_scenario
+
+N = 40
+
+
+def _stats(name, scenario, matching):
+    from repro.core.analysis import jain_fairness
+
+    ps = scenario.ps
+    v = matching.satisfaction_vector(ps)
+    return {
+        "scenario": scenario.name,
+        "algorithm": name,
+        "total": float(v.sum()),
+        "mean": float(v.mean()),
+        "p10": float(np.percentile(v, 10)),
+        "median": float(np.median(v)),
+        "min": float(v.min()),
+        "jain": jain_fairness(v),
+    }
+
+
+def test_f1_satisfaction_distributions(report, emit, benchmark):
+    rows = []
+    totals = {}
+    for name in sorted(SCENARIOS):
+        sc = build_scenario(name, N, seed=4)
+        ps = sc.ps
+
+        lid, _ = solve_lid(ps)
+        rows.append(_stats("LID", sc, lid.matching))
+
+        rnd = random_bmatching(ps, np.random.default_rng(0))
+        rows.append(_stats("random", sc, rnd))
+
+        br = best_response_dynamics(ps, max_steps=4000)
+        label = "best-response" if br.converged else "best-response*"
+        rows.append(_stats(label, sc, br.matching))
+
+        sf = stable_fixtures_matching(ps, max_exhaustive_edges=0)
+        if sf.matching is not None:
+            rows.append(_stats(f"stable-fixtures({sf.method})", sc, sf.matching))
+
+        opt = max_satisfaction_bmatching_milp(ps)
+        rows.append(_stats("OPT", sc, opt))
+        totals[name] = {
+            "lid": lid.matching.total_satisfaction(ps),
+            "rnd": rnd.total_satisfaction(ps),
+            "opt": opt.total_satisfaction(ps),
+        }
+
+    report(
+        rows,
+        ["scenario", "algorithm", "total", "mean", "p10", "median", "min", "jain"],
+        title="F1  per-node satisfaction distribution by algorithm"
+              " (* = oscillating snapshot)",
+        csv_name="f1_satisfaction_dist.csv",
+    )
+    # the shape, not just the moments: satisfaction histogram of the
+    # cyclic-preference scenario where the baselines struggle most
+    from repro.experiments.reporting import ascii_histogram
+
+    sc = build_scenario("heterogeneous", N, seed=4)
+    lid_v = solve_lid(sc.ps)[0].matching.satisfaction_vector(sc.ps)
+    rnd_v = random_bmatching(
+        sc.ps, np.random.default_rng(0)
+    ).satisfaction_vector(sc.ps)
+    emit(ascii_histogram(lid_v, bins=8, lo=0, hi=1,
+                         title="heterogeneous: per-node satisfaction (LID)"))
+    emit(ascii_histogram(rnd_v, bins=8, lo=0, hi=1,
+                         title="heterogeneous: per-node satisfaction (random)"))
+
+    for name, t in totals.items():
+        assert t["opt"] >= t["lid"] - 1e-9
+        assert t["lid"] >= 0.7 * t["opt"], name  # comfortably above ¼(1+1/b)
+        assert t["lid"] >= t["rnd"] - 1e-9, name
+
+    sc = build_scenario("file_sharing", N, seed=4)
+    benchmark(lambda: solve_lid(sc.ps))

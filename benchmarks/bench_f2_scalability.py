@@ -1,0 +1,60 @@
+"""F2 — scalability: runtime and protocol cost vs overlay size.
+
+Regenerates the "local communication scales" claim of §5: wall-clock
+time of the centralised LIC, wall-clock of the simulated LID, and
+protocol metrics (messages, rounds) as n doubles from 100 to 800 at
+constant average degree.  Expected shape: near-linear growth of LIC
+time and of total messages in m; rounds grow roughly logarithmically /
+stay flat, since proposal waves are local.
+"""
+
+import time
+
+import pytest
+
+from repro.core.lic import lic_matching
+from repro.core.lid import run_lid
+from repro.core.weights import satisfaction_weights
+from repro.experiments import random_preference_instance
+
+
+def test_f2_scalability_series(report, benchmark):
+    rows = []
+    for n in (100, 200, 400, 800):
+        ps = random_preference_instance(n, p=10.0 / n, quota=3, seed=1)
+        wt = satisfaction_weights(ps)
+
+        t0 = time.perf_counter()
+        lic = lic_matching(wt, ps.quotas)
+        t_lic = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        res = run_lid(wt, ps.quotas)
+        t_lid = time.perf_counter() - t0
+
+        assert res.matching.edge_set() == lic.edge_set()
+        rows.append(
+            {
+                "n": n,
+                "m": ps.m,
+                "lic_ms": 1e3 * t_lic,
+                "lid_sim_ms": 1e3 * t_lid,
+                "messages": res.metrics.total_sent,
+                "msgs_per_edge": res.metrics.total_sent / max(ps.m, 1),
+                "rounds": res.rounds,
+            }
+        )
+    report(
+        rows,
+        ["n", "m", "lic_ms", "lid_sim_ms", "messages", "msgs_per_edge", "rounds"],
+        title="F2  scalability at constant average degree (~10)",
+        csv_name="f2_scalability.csv",
+    )
+    # message cost is linear in m: per-edge cost stays bounded
+    assert max(r["msgs_per_edge"] for r in rows) <= 4.0
+    # rounds stay far below n (locality)
+    assert all(r["rounds"] < r["n"] / 4 for r in rows)
+
+    ps = random_preference_instance(400, 10.0 / 400, 3, seed=1)
+    wt = satisfaction_weights(ps)
+    benchmark(lambda: lic_matching(wt, ps.quotas))

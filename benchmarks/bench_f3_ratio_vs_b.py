@@ -1,0 +1,51 @@
+"""F3 — the approximation band as a function of b_max (Theorems 1 & 3).
+
+Regenerates the bound curve: for uniform quotas b = 1..6, the measured
+LID satisfaction ratio against the exact optimum, alongside the
+guaranteed floor ¼(1+1/b) and the intermediate Theorem-1 factor
+½(1+1/b).  Expected shape: the guarantee decreases from 0.5 towards
+0.25 as b grows, while the *measured* ratio stays high (≈0.85+) —
+i.e. the analysis is worst-case, and its slack grows with b.
+"""
+
+import pytest
+
+from repro.core.analysis import theorem1_bound, theorem3_bound
+from repro.core.lid import solve_lid
+from repro.experiments import (
+    aggregate,
+    random_preference_instance,
+    satisfaction_ratio_record,
+    sweep,
+)
+
+
+def _run(b: int, seed: int) -> dict:
+    ps = random_preference_instance(24, p=0.35, quota=b, seed=seed)
+    rec = satisfaction_ratio_record(ps)
+    return {
+        "ratio": rec["ratio"],
+        "bound_ok": rec["bound_ok"],
+    }
+
+
+def test_f3_ratio_vs_b_series(report, benchmark):
+    rows = sweep(_run, {"b": [1, 2, 3, 4, 5, 6], "seed": [0]}, repeats=3)
+    agg = aggregate(rows, ["b"], ["ratio", "bound_ok"], reducers={"ratio": min})
+    for r in agg:
+        r["thm3_floor"] = theorem3_bound(r["b"])
+        r["thm1_factor"] = theorem1_bound(r["b"])
+        r["slack"] = r["ratio"] - r["thm3_floor"]
+    report(
+        agg,
+        ["b", "count", "ratio", "thm3_floor", "thm1_factor", "slack", "bound_ok"],
+        title="F3  measured satisfaction ratio vs the ¼(1+1/b) guarantee",
+        csv_name="f3_ratio_vs_b.csv",
+    )
+    assert all(r["bound_ok"] == 1.0 for r in agg)
+    floors = [r["thm3_floor"] for r in agg]
+    assert floors == sorted(floors, reverse=True)  # floor decreases in b
+    assert all(r["slack"] > 0.2 for r in agg)  # analysis is pessimistic
+
+    ps = random_preference_instance(24, 0.35, 3, seed=0)
+    benchmark(lambda: solve_lid(ps))

@@ -1,0 +1,67 @@
+"""P1 — performance: vectorised kernels vs scalar references.
+
+Engineering companion (not a paper claim): following the scientific-
+Python optimisation workflow, the two measured hot spots — eq.-9 weight
+construction and whole-matching satisfaction evaluation — have NumPy
+formulations in :mod:`repro.core.fast`.  This bench reports the
+speedups at n ∈ {500, 2000} and asserts the vectorised results equal
+the scalar ones (correctness is re-checked here, not assumed).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.fast import satisfaction_profile_fast, satisfaction_weights_fast
+from repro.core.lic import lic_matching
+from repro.core.weights import satisfaction_weights
+from repro.experiments import random_preference_instance
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_p1_vectorised_kernels(report, benchmark):
+    rows = []
+    for n in (500, 2000):
+        ps = random_preference_instance(n, 10.0 / n, 3, seed=2)
+        wt_s, t_ws = _time(lambda: satisfaction_weights(ps))
+        wt_f, t_wf = _time(lambda: satisfaction_weights_fast(ps))
+        matching = lic_matching(wt_s, ps.quotas)
+        prof_s, t_ss = _time(lambda: matching.satisfaction_vector(ps))
+        prof_f, t_sf = _time(lambda: satisfaction_profile_fast(ps, matching))
+
+        same_weights = all(
+            abs(wt_s.weight(i, j) - wt_f.weight(i, j)) < 1e-12
+            for i, j in ps.edges()
+        )
+        same_profile = bool(np.allclose(prof_s, prof_f, atol=1e-12))
+        rows.append(
+            {
+                "n": n,
+                "m": ps.m,
+                "weights_scalar_ms": 1e3 * t_ws,
+                "weights_fast_ms": 1e3 * t_wf,
+                "weights_speedup": t_ws / max(t_wf, 1e-9),
+                "sat_scalar_ms": 1e3 * t_ss,
+                "sat_fast_ms": 1e3 * t_sf,
+                "sat_speedup": t_ss / max(t_sf, 1e-9),
+                "equal": same_weights and same_profile,
+            }
+        )
+    report(
+        rows,
+        ["n", "m", "weights_scalar_ms", "weights_fast_ms", "weights_speedup",
+         "sat_scalar_ms", "sat_fast_ms", "sat_speedup", "equal"],
+        title="P1  vectorised kernels (equal = bit-level agreement)",
+        csv_name="p1_vectorised.csv",
+    )
+    assert all(r["equal"] for r in rows)
+
+    ps = random_preference_instance(2000, 10.0 / 2000, 3, seed=2)
+    matching = lic_matching(satisfaction_weights_fast(ps), ps.quotas)
+    benchmark(lambda: satisfaction_profile_fast(ps, matching))

@@ -1,0 +1,69 @@
+"""P2 — performance/correctness: the from-scratch blossom matcher.
+
+Engineering companion: our blossom implementation
+(:mod:`repro.baselines.blossom`) against the networkx reference on
+random graphs — optimal weights must agree exactly; wall-clock is
+reported for context.  Expected shape: identical optima at every size;
+comparable or better runtime (both are pure-Python O(n³)).
+"""
+
+import time
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.blossom import max_weight_matching_blossom
+from repro.core.weights import WeightTable
+
+
+def _random_weighted(n: int, p: float, seed: int) -> WeightTable:
+    rng = np.random.default_rng(seed)
+    weights = {
+        (i, j): float(rng.uniform(0.1, 10.0))
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    }
+    return WeightTable(weights, n)
+
+
+def test_p2_blossom_vs_networkx(report, benchmark):
+    rows = []
+    for n in (40, 80, 160):
+        wt = _random_weighted(n, p=min(0.5, 12.0 / n * 3), seed=n)
+        t0 = time.perf_counter()
+        ours = max_weight_matching_blossom(wt)
+        t_ours = time.perf_counter() - t0
+
+        G = nx.Graph()
+        for (i, j), w in wt.items():
+            G.add_edge(i, j, weight=w)
+        t0 = time.perf_counter()
+        ref = nx.max_weight_matching(G)
+        t_nx = time.perf_counter() - t0
+        ref_w = sum(wt.weight(a, b) for a, b in ref)
+
+        rows.append(
+            {
+                "n": n,
+                "m": wt.m,
+                "our_weight": ours.total_weight(wt),
+                "nx_weight": ref_w,
+                "equal": abs(ours.total_weight(wt) - ref_w) < 1e-6,
+                "our_ms": 1e3 * t_ours,
+                "nx_ms": 1e3 * t_nx,
+                "speedup": t_nx / max(t_ours, 1e-9),
+            }
+        )
+    report(
+        rows,
+        ["n", "m", "our_weight", "nx_weight", "equal", "our_ms", "nx_ms",
+         "speedup"],
+        title="P2  from-scratch blossom vs networkx (optima must agree)",
+        csv_name="p2_blossom.csv",
+    )
+    assert all(r["equal"] for r in rows)
+
+    wt = _random_weighted(80, 0.3, seed=80)
+    benchmark(lambda: max_weight_matching_blossom(wt))

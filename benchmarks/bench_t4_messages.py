@@ -1,0 +1,64 @@
+"""T4 — Lemma 5 + §5: termination and message complexity of LID.
+
+Regenerates the protocol-cost claim ("a small amount of local
+communication"): message counts and asynchronous rounds as n and the
+quota grow.  Expected shape:
+
+- LID always terminates (Lemma 5) — every row completes;
+- PROP ≤ 2m and REJ ≤ 2m (each node contacts each neighbour at most
+  once per message type), so total messages grow linearly in m;
+- rounds grow slowly (the proposal wave is locally bounded), far below n.
+"""
+
+import pytest
+
+from repro.core.lid import run_lid
+from repro.core.weights import satisfaction_weights
+from repro.experiments import aggregate, random_preference_instance, sweep
+
+
+def _run(n: int, b: int, seed: int) -> dict:
+    ps = random_preference_instance(n, p=min(0.3, 12.0 / n), quota=b, seed=seed)
+    wt = satisfaction_weights(ps)
+    res = run_lid(wt, ps.quotas)
+    m = ps.m
+    return {
+        "m": m,
+        "prop": res.prop_messages,
+        "rej": res.rej_messages,
+        "total": res.metrics.total_sent,
+        "rounds": res.rounds,
+        "msgs_per_edge": res.metrics.total_sent / max(m, 1),
+        "prop_bound_ok": res.prop_messages <= 2 * m,
+        "rej_bound_ok": res.rej_messages <= 2 * m,
+        "terminated": all(node.finished for node in res.nodes),
+    }
+
+
+def test_t4_message_complexity_table(report, benchmark):
+    rows = sweep(
+        _run,
+        {"n": [50, 100, 200, 400], "b": [2, 4], "seed": [0]},
+        repeats=2,
+    )
+    agg = aggregate(
+        rows,
+        ["n", "b"],
+        ["m", "prop", "rej", "total", "rounds", "msgs_per_edge",
+         "prop_bound_ok", "rej_bound_ok", "terminated"],
+    )
+    report(
+        agg,
+        ["n", "b", "m", "prop", "rej", "total", "msgs_per_edge", "rounds",
+         "prop_bound_ok", "rej_bound_ok", "terminated"],
+        title="T4  LID message complexity (PROP ≤ 2m, REJ ≤ 2m, linear in m)",
+        csv_name="t4_messages.csv",
+    )
+    for r in agg:
+        assert r["terminated"] == 1.0
+        assert r["prop_bound_ok"] == 1.0 and r["rej_bound_ok"] == 1.0
+        assert r["msgs_per_edge"] <= 4.0
+
+    ps = random_preference_instance(200, 12.0 / 200, 3, seed=9)
+    wt = satisfaction_weights(ps)
+    benchmark(lambda: run_lid(wt, ps.quotas))

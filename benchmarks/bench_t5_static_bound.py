@@ -1,0 +1,81 @@
+"""T5 — Lemma 1: the static part of satisfaction is ≥ ½(1+1/b) of the whole.
+
+Two reproductions of eq. 8:
+
+1. *Tightness*: the worst-case construction (all b connections drawn
+   from the bottom of a length-L list) achieves S^s/(S^s+S^d) exactly
+   equal to ½(1+1/b), for every (b, L).
+2. *Validity*: across random instances and matchings, the per-node ratio
+   never falls below the bound (minimum observed ratio ≥ bound), and the
+   empirical minimum approaches the bound as quotas fill.
+
+Expected shape: the tight column equals the bound to machine precision;
+the empirical minimum column sits at or above it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_matching import random_bmatching
+from repro.core.lic import solve_modified_bmatching
+from repro.core.satisfaction import (
+    full_satisfaction,
+    lemma1_bound,
+    lemma1_worst_case,
+    static_dynamic_split,
+)
+from repro.experiments import random_preference_instance
+
+
+def _empirical_min_ratio(b: int, seeds=range(4)) -> float:
+    worst = 1.0
+    for seed in seeds:
+        ps = random_preference_instance(30, 0.4, b, seed=seed)
+        for matching in (
+            solve_modified_bmatching(ps)[0],
+            random_bmatching(ps, np.random.default_rng(seed)),
+        ):
+            for i in ps.nodes():
+                conns = matching.connections(i)
+                s = full_satisfaction(ps, i, conns)
+                if s > 0:
+                    s_static, _ = static_dynamic_split(ps, i, conns)
+                    worst = min(worst, s_static / s)
+    return worst
+
+
+def test_t5_lemma1_bound_table(report, benchmark):
+    rows = []
+    for b in (1, 2, 3, 4, 6, 8):
+        ell = 4 * b
+        s_static, s_dynamic = lemma1_worst_case(b, ell)
+        tight = s_static / (s_static + s_dynamic)
+        bound = lemma1_bound(b)
+        emp = _empirical_min_ratio(b)
+        rows.append(
+            {
+                "b": b,
+                "L": ell,
+                "bound": bound,
+                "tight_construction": tight,
+                "tight_matches_bound": abs(tight - bound) < 1e-12,
+                "empirical_min_ratio": emp,
+                "empirical_ok": emp >= bound - 1e-9,
+            }
+        )
+    report(
+        rows,
+        ["b", "L", "bound", "tight_construction", "tight_matches_bound",
+         "empirical_min_ratio", "empirical_ok"],
+        title="T5  Lemma 1: static/total satisfaction ratio vs ½(1+1/b)",
+        csv_name="t5_static_bound.csv",
+    )
+    assert all(r["tight_matches_bound"] for r in rows)
+    assert all(r["empirical_ok"] for r in rows)
+
+    ps = random_preference_instance(60, 0.3, 4, seed=1)
+    matching, _ = solve_modified_bmatching(ps)
+    adjacency = matching.adjacency()
+    benchmark(
+        lambda: [full_satisfaction(ps, i, adjacency[i]) for i in ps.nodes()]
+    )

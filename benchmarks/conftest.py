@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench file regenerates one experiment (T1–T5, F1–F4, A1–A3 in
+DESIGN.md §2): it computes the experiment's table, prints it through the
+``report`` fixture (bypassing pytest's capture so ``bench_output.txt``
+contains the rows), writes a CSV next to the benchmarks, and times the
+core operation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import print_table, write_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment table to the real stdout and persist a CSV."""
+
+    def _report(rows, columns=None, title="", csv_name=None):
+        with capsys.disabled():
+            print_table(rows, columns, title)
+        if csv_name:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            write_csv(rows, RESULTS_DIR / csv_name)
+
+    return _report
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print raw text (histograms, notes) past pytest's capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Churn session: joins and leaves with exact incremental repair (§7).
+
+The paper's published algorithm "does not handle dynamicity"; its
+conclusion conjectures the greedy strategy can.  This example runs a
+50-event churn session against a live overlay, repairing the matching
+incrementally after every event, and verifies after each event that the
+repaired matching equals a from-scratch recomputation — while costing a
+fraction of the work.
+
+Run:  python examples/churn_session.py
+"""
+
+import numpy as np
+
+from repro.core.lic import lic_matching
+from repro.core.weights import satisfaction_weights
+from repro.overlay import DynamicOverlay, Peer, build_scenario
+
+
+def main() -> None:
+    scenario = build_scenario("geo_latency", n=60, seed=21)
+    overlay = DynamicOverlay(scenario.topology, scenario.peers, scenario.metric)
+    rng = np.random.default_rng(2026)
+
+    print(f"Initial overlay: {overlay.n} peers,"
+          f" satisfaction {overlay.total_satisfaction():.2f}")
+
+    resolutions = scanned = checks_ok = dirty_total = 0
+    joins = leaves = 0
+    for event in range(50):
+        if rng.random() < 0.45 and overlay.n > 20:
+            victim = int(rng.choice(overlay.active_ids()))
+            stats = overlay.leave(victim)
+            leaves += 1
+        else:
+            ids = overlay.active_ids()
+            k = min(int(rng.integers(2, 7)), len(ids))
+            neighbours = [int(x) for x in rng.choice(ids, size=k, replace=False)]
+            peer = Peer(peer_id=-1, position=rng.uniform(0, 1, 2),
+                        quota=int(rng.integers(2, 5)))
+            _, stats = overlay.join(peer, neighbours)
+            joins += 1
+        resolutions += stats.resolutions
+        scanned += stats.edges_scanned
+        dirty_total += stats.dirty_nodes
+
+        # verify exactness: repaired matching == from-scratch greedy
+        ps, matching = overlay.instance()
+        full = lic_matching(satisfaction_weights(ps), ps.quotas)
+        assert matching.edge_set() == full.edge_set()
+        checks_ok += 1
+
+    ps, _ = overlay.instance()
+    print(f"\nProcessed {joins} joins + {leaves} leaves"
+          f" -> {overlay.n} peers, {ps.m} links")
+    print(f"Repair work: {resolutions} connection changes over 50 events"
+          f" ({resolutions / 50:.1f} per event vs ~{ps.m // overlay.n * 2}"
+          " connections a full re-match would renegotiate)")
+    print(f"Locality: repair waves touched {dirty_total / 50:.1f} nodes per"
+          f" event out of ~{overlay.n} — only that region would exchange"
+          " messages in the distributed realisation")
+    print(f"Exactness checks passed: {checks_ok}/50"
+          " (repair == from-scratch greedy every time)")
+    print(f"Final satisfaction: {overlay.total_satisfaction():.2f}")
+
+
+if __name__ == "__main__":
+    main()

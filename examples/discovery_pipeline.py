@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The full §1 pipeline: bootstrap → gossip discovery → private ranking → LID.
+
+The paper assumes peers "know part of the overlay network"; in practice
+that knowledge comes from a peer-sampling service.  This example builds
+the entire stack end to end:
+
+1. 100 peers start knowing only a ring successor pair and one random
+   tracker contact;
+2. a Newscast-style gossip protocol (on the same message-passing
+   simulator LID runs on) spreads peer knowledge for 8 rounds;
+3. each peer ranks its discovered candidates with a composite private
+   metric (70% interest similarity, 30% bandwidth);
+4. LID matches the overlay with a guaranteed satisfaction level.
+
+Run:  python examples/discovery_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import solve_lid, theorem3_bound
+from repro.overlay import (
+    CompositeMetric,
+    BandwidthMetric,
+    InterestMetric,
+    build_preference_system,
+    discover_knowledge_graph,
+    generate_peers,
+)
+from repro.overlay.analysis import analyze_overlay, matching_adjacency
+
+
+def main() -> None:
+    n = 100
+    # 1-2. bootstrap + gossip discovery
+    discovery = discover_knowledge_graph(
+        n, rounds=8, view_size=10, bootstrap_degree=2, seed=17
+    )
+    topo = discovery.topology
+    print(f"Discovery: {discovery.messages} gossip messages over"
+          f" {discovery.rounds} rounds")
+    print(f"  knowledge graph: {topo.m} potential links,"
+          f" mean {discovery.mean_knowledge:.1f} candidates/peer"
+          f" (bootstrap gave ~3)")
+
+    # 3. private rankings over the discovered candidates
+    peers = generate_peers(n, np.random.default_rng(17), quota_range=(2, 5))
+    metric = CompositeMetric([(0.7, InterestMetric()), (0.3, BandwidthMetric())])
+    ps = build_preference_system(topo, peers, metric)
+
+    # 4. distributed matching
+    result, _ = solve_lid(ps)
+    matching = result.matching
+    sat = matching.total_satisfaction(ps)
+    print(f"\nLID: {matching.size()} connections,"
+          f" {result.metrics.total_sent} matching messages,"
+          f" {result.rounds:.0f} rounds")
+    print(f"  total satisfaction {sat:.1f}"
+          f" (per-peer mean {sat / n:.3f};"
+          f" Theorem 3 floor factor {theorem3_bound(ps.b_max):.3f})")
+
+    fp = analyze_overlay(matching_adjacency(matching), path_sample=None)
+    print(f"\nConstructed overlay structure:"
+          f" {fp.components} component(s),"
+          f" largest covers {100 * fp.largest_component_frac:.0f}% of peers,"
+          f" mean degree {fp.mean_degree:.2f},"
+          f" avg path {fp.avg_path_length:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: match ten peers with preference lists using LID.
+
+Builds a small overlay by hand, runs the distributed LID algorithm on
+the message-passing simulator, and prints the matching, each node's
+satisfaction, and the message bill.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PreferenceSystem, solve_lid
+from repro.baselines import optimal_satisfaction
+from repro.core import theorem3_bound
+
+
+def main() -> None:
+    # Ten peers; each ranks its overlay neighbours (index 0 = favourite)
+    # and is willing to keep at most two connections.
+    rankings = {
+        0: [3, 1, 4],
+        1: [0, 2, 5],
+        2: [5, 1, 6],
+        3: [0, 7, 4],
+        4: [3, 0, 8],
+        5: [2, 1, 9],
+        6: [2, 9],
+        7: [3, 8],
+        8: [7, 4, 9],
+        9: [5, 8, 6],
+    }
+    ps = PreferenceSystem(rankings, quotas=2)
+
+    result, weights = solve_lid(ps)
+    matching = result.matching
+
+    print("Matched connections:")
+    for i, j in matching.edges():
+        print(f"  {i:2d} -- {j:2d}   (edge weight {weights.weight(i, j):.3f})")
+
+    print("\nPer-node satisfaction (eq. 1):")
+    for i, s in enumerate(matching.satisfaction_vector(ps)):
+        partners = sorted(matching.connections(i))
+        print(f"  node {i}: S = {s:.3f}   partners {partners}")
+
+    total = matching.total_satisfaction(ps)
+    opt = optimal_satisfaction(ps)
+    bound = theorem3_bound(ps.b_max)
+    print(f"\nTotal satisfaction: {total:.3f}")
+    print(f"Exact optimum:      {opt:.3f}  (ratio {total / opt:.3f},"
+          f" guaranteed ≥ {bound:.3f} by Theorem 3)")
+    print(f"\nMessages: {result.prop_messages} PROP + {result.rej_messages} REJ"
+          f" in {result.rounds:.0f} asynchronous rounds")
+
+
+if __name__ == "__main__":
+    main()

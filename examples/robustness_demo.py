@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Robustness demo: LID under loss, crashes and malicious peers (§7).
+
+The paper's conclusion asks how the greedy strategy copes with hostile
+conditions.  This demo runs the same 50-peer overlay through four
+regimes and reports what survives:
+
+1. ideal channels (the published setting),
+2. 20% message loss with the retransmission extension,
+3. five reject-all Byzantine disruptors,
+4. loss + Byzantine at once.
+
+Run:  python examples/robustness_demo.py
+"""
+
+from repro.core.lid import LidNode, run_lid
+from repro.core.matching import Matching
+from repro.core.weights import satisfaction_weights
+from repro.distsim import BernoulliLoss, Network, Simulator
+from repro.distsim.failures import make_byzantine
+from repro.experiments import random_preference_instance
+
+
+def byzantine_run(wt, ps, byz, drop=None, retransmit=None):
+    """Run LID with `byz` disruptors and optional loss; return stats."""
+    nodes = [
+        LidNode(
+            wt.weight_list(i),
+            ps.quota(i),
+            polite=retransmit is not None,
+            retransmit_timeout=retransmit,
+        )
+        for i in range(ps.n)
+    ]
+    for b in byz:
+        make_byzantine(nodes[b], "reject_all")
+    net = Network(ps.n, links=wt.edges(), drop_filter=drop, seed=11)
+    sim = Simulator(net, nodes)
+    sim.run(max_events=500_000)
+    matching = Matching(ps.n)
+    for i in range(ps.n):
+        if i in byz:
+            continue
+        for j in nodes[i].locked:
+            if j not in byz and i < j and i in nodes[j].locked:
+                matching.add(i, j)
+    honest_done = all(
+        nodes[i].finished for i in range(ps.n) if i not in byz
+    )
+    return matching, honest_done, sim.metrics
+
+
+def main() -> None:
+    ps = random_preference_instance(50, 0.25, 3, seed=9)
+    wt = satisfaction_weights(ps)
+    byz = set(range(5))  # ids 0-4 turn disruptive in regimes 3 and 4
+
+    print(f"Overlay: {ps.n} peers, {ps.m} links, 5 designated disruptors\n")
+
+    baseline = run_lid(wt, ps.quotas)
+    sat0 = baseline.matching.total_satisfaction(ps)
+    print(f"1. ideal channels:        satisfaction {sat0:6.2f},"
+          f" {baseline.metrics.total_sent} msgs — the reference")
+
+    lossy = run_lid(wt, ps.quotas, drop_filter=BernoulliLoss(0.2),
+                    retransmit_timeout=5.0, seed=3)
+    same = lossy.matching.edge_set() == baseline.matching.edge_set()
+    print(f"2. 20% loss + retransmit: satisfaction"
+          f" {lossy.matching.total_satisfaction(ps):6.2f},"
+          f" {lossy.metrics.total_sent} msgs"
+          f" ({lossy.metrics.dropped} lost) — identical matching: {same}")
+
+    m3, done3, met3 = byzantine_run(wt, ps, byz)
+    print(f"3. 5 reject-all peers:    satisfaction"
+          f" {m3.total_satisfaction(ps):6.2f},"
+          f" honest all terminated: {done3}")
+
+    m4, done4, met4 = byzantine_run(
+        wt, ps, byz, drop=BernoulliLoss(0.2), retransmit=5.0
+    )
+    print(f"4. loss + Byzantine:      satisfaction"
+          f" {m4.total_satisfaction(ps):6.2f},"
+          f" honest all terminated: {done4}")
+
+    print("\nTakeaway: the matching quality degrades only with the welfare"
+          " the disruptors withdraw; termination survives every regime"
+          " (retransmission supplies what Lemma 5 assumes: reliable"
+          " channels).")
+
+
+if __name__ == "__main__":
+    main()

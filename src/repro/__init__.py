@@ -1,0 +1,61 @@
+"""repro — reproduction of *Overlays with preferences* (IPDPS 2010).
+
+A production-quality implementation of Georgiadis & Papatriantafilou's
+approximation algorithms for many-to-many matching with preference
+lists, together with every substrate the paper depends on:
+
+- ``repro.core``       — satisfaction metric, eq.-9 weights, LIC & LID,
+- ``repro.distsim``    — deterministic message-passing simulator,
+- ``repro.baselines``  — exact solvers, greedy/random/stable baselines,
+- ``repro.overlay``    — peers, suitability metrics, topologies, churn,
+- ``repro.experiments``— the harness regenerating the paper's claims.
+
+Quickstart::
+
+    from repro import PreferenceSystem, solve_lid
+
+    ps = PreferenceSystem(
+        rankings={0: [1, 2], 1: [0, 2], 2: [1, 0]},
+        quotas=1,
+    )
+    result, wt = solve_lid(ps)
+    print(result.matching.edges(), result.matching.total_satisfaction(ps))
+"""
+
+from repro.serialization import from_dict, load_json, save_json, to_dict
+from repro.core import (
+    LidResult,
+    Matching,
+    PreferenceSystem,
+    WeightTable,
+    full_satisfaction,
+    lic_matching,
+    run_lid,
+    satisfaction_weights,
+    solve_lid,
+    solve_modified_bmatching,
+    static_satisfaction,
+    total_satisfaction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PreferenceSystem",
+    "Matching",
+    "WeightTable",
+    "satisfaction_weights",
+    "lic_matching",
+    "run_lid",
+    "solve_lid",
+    "solve_modified_bmatching",
+    "LidResult",
+    "full_satisfaction",
+    "static_satisfaction",
+    "total_satisfaction",
+    "from_dict",
+    "load_json",
+    "save_json",
+    "to_dict",
+    "__version__",
+]

@@ -1,0 +1,117 @@
+"""Best-response b-matching dynamics (Gai et al. [3], Mathieu [13]).
+
+The baseline the paper positions itself against: peers repeatedly
+resolve *blocking pairs* — an unmatched pair ``(i, j)`` both endpoints
+want is formed, each endpoint dropping its worst partner if over quota.
+Gai et al. prove these dynamics stabilise **iff** the preference system
+is acyclic; with cyclic preferences they can oscillate forever, which
+is the restriction the paper's symmetric-weight construction removes
+(Lemma 5).  Experiment F4 reproduces exactly this contrast.
+
+:func:`best_response_dynamics` runs the dynamics with a pluggable pair
+selection rule, an iteration cap and cycle detection via state hashing,
+and reports whether a stable state was reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.baselines.verify import blocking_pairs
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+
+__all__ = ["BestResponseResult", "best_response_dynamics"]
+
+
+@dataclass
+class BestResponseResult:
+    """Outcome of a best-response run.
+
+    Attributes
+    ----------
+    matching:
+        Final (possibly unstable) matching.
+    converged:
+        ``True`` iff no blocking pair remained.
+    steps:
+        Number of blocking-pair resolutions performed.
+    cycled:
+        ``True`` when a previously seen global state recurred — a proof
+        of oscillation under the deterministic selection rules.
+    """
+
+    matching: Matching
+    converged: bool
+    steps: int
+    cycled: bool
+
+
+def _satisfy_pair(ps: PreferenceSystem, matching: Matching, i: int, j: int) -> None:
+    """Form edge ``(i, j)``; each endpoint drops its worst partner if full."""
+    for v, u in ((i, j), (j, i)):
+        if matching.degree(v) >= ps.quota(v):
+            worst = max(matching.connections(v), key=lambda c: ps.rank(v, c))
+            matching.remove(v, worst)
+    matching.add(i, j)
+
+
+def best_response_dynamics(
+    ps: PreferenceSystem,
+    max_steps: int = 10_000,
+    rule: Literal["first", "best", "random"] = "first",
+    rng: Optional[np.random.Generator] = None,
+    initial: Optional[Matching] = None,
+    detect_cycles: bool = True,
+) -> BestResponseResult:
+    """Run blocking-pair resolution until stable, cycling, or budget end.
+
+    Parameters
+    ----------
+    rule:
+        Which blocking pair to satisfy each step: the ``first`` in
+        canonical edge order, the one ``best`` for the proposing side
+        (minimum rank sum), or a ``random`` one (requires ``rng``).
+    detect_cycles:
+        Hash every visited global state (deterministic rules only) and
+        stop with ``cycled=True`` on recurrence.  With ``rule="random"``
+        a revisited state does not imply divergence, so detection is
+        skipped.
+
+    Notes
+    -----
+    Each step strictly improves both chosen endpoints but can hurt the
+    dropped partners — the source of oscillation with cyclic
+    preferences.  For acyclic systems Gai et al. guarantee
+    stabilisation; tests check this on weight-induced (hence acyclic)
+    instances.
+    """
+    if rule == "random" and rng is None:
+        raise ValueError("rule='random' requires an rng")
+    matching = initial.copy() if initial is not None else Matching(ps.n)
+    matching.validate(ps)
+
+    seen: set[frozenset] = set()
+    steps = 0
+    while steps < max_steps:
+        blocks = blocking_pairs(ps, matching)
+        if not blocks:
+            return BestResponseResult(matching, True, steps, False)
+        if detect_cycles and rule != "random":
+            state = matching.edge_set()
+            if state in seen:
+                return BestResponseResult(matching, False, steps, True)
+            seen.add(state)
+        if rule == "first":
+            i, j = blocks[0]
+        elif rule == "best":
+            i, j = min(blocks, key=lambda e: (ps.rank(e[0], e[1]) + ps.rank(e[1], e[0]), e))
+        else:
+            assert rng is not None
+            i, j = blocks[int(rng.integers(len(blocks)))]
+        _satisfy_pair(ps, matching, i, j)
+        steps += 1
+    return BestResponseResult(matching, False, steps, False)

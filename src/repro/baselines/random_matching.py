@@ -1,0 +1,34 @@
+"""Null baseline: uniformly random maximal feasible b-matching."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.greedy import random_order_greedy
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable, satisfaction_weights
+
+__all__ = ["random_bmatching"]
+
+
+def random_bmatching(
+    ps: PreferenceSystem,
+    rng: np.random.Generator,
+    wt: Optional[WeightTable] = None,
+) -> Matching:
+    """A random maximal b-matching of the instance's potential edges.
+
+    Implemented as greedy insertion in uniformly random edge order, so
+    the result is always *maximal* (no edge can be added) — the fair
+    comparison point for preference-aware algorithms in experiment F1:
+    the gap to LID measures what preference-awareness buys beyond mere
+    connectivity.
+    """
+    if wt is None:
+        wt = satisfaction_weights(ps)
+    matching = random_order_greedy(wt, ps.quotas, rng)
+    matching.validate(ps)
+    return matching

@@ -1,0 +1,196 @@
+"""Stable fixtures baseline (Irving & Scott [7]) — hybrid solver.
+
+The *stable fixtures* problem is the many-to-many stable roommates
+variant the paper's Section 2 identifies with its b-matching model: find
+a feasible matching with **no blocking pair** (see
+:mod:`repro.baselines.verify`).  Irving & Scott give an O(m) exact
+algorithm (proposal phase + rotation elimination).  For this
+reproduction the baseline is only consumed at laptop scale by the F1
+satisfaction-distribution experiment, so we implement a *certified
+hybrid* instead of the full rotation machinery:
+
+1. **Phase 1** (:func:`phase1`) — the proposal/reduction phase, a direct
+   many-to-many generalisation of the roommates proposal round: nodes
+   propose down their lists; a node holds its ``b`` best proposals and
+   bounces the rest.  The mutual-hold edge set is frequently already a
+   stable matching.
+2. **Dynamics fallback** — best-response blocking-pair resolution seeded
+   with the phase-1 state.
+3. **Exhaustive fallback** — for small instances, exact search over all
+   feasible matchings, which also *decides* existence.
+
+Every returned matching is certified by the independent
+:func:`~repro.baselines.verify.is_stable` checker; the result records
+which method produced it.  When all three stages fail on a large
+instance the result honestly reports ``exists=None`` (unknown) — see
+DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Literal, Optional
+
+from repro.baselines.acyclic import best_response_dynamics
+from repro.baselines.verify import is_stable
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+
+__all__ = ["Phase1State", "phase1", "StableFixturesResult", "stable_fixtures_matching"]
+
+
+@dataclass
+class Phase1State:
+    """Outcome of the proposal phase.
+
+    Attributes
+    ----------
+    holds:
+        ``holds[j]`` = set of nodes whose proposals ``j`` currently holds.
+    proposed_to:
+        ``proposed_to[i]`` = set of nodes that hold ``i``'s proposal.
+    mutual:
+        Edges held in both directions — the phase-1 candidate matching.
+    exhausted:
+        Nodes that ran out of list entries before placing ``b`` proposals
+        (a hint — not a proof — that the instance may lack a stable
+        matching with all quotas filled).
+    """
+
+    holds: list[set[int]]
+    proposed_to: list[set[int]]
+    mutual: list[tuple[int, int]]
+    exhausted: list[int]
+
+
+def phase1(ps: PreferenceSystem) -> Phase1State:
+    """Run the many-to-many proposal phase.
+
+    Each node needs to place ``b_i`` proposals.  A proposal from ``i``
+    to ``j`` is *held* if ``j`` has hold capacity left or prefers ``i``
+    to its worst held proposer (who is then bounced and resumes
+    proposing).  Deterministic: nodes are processed from a FIFO work
+    queue seeded in id order; each node proposes strictly down its list.
+    """
+    n = ps.n
+    holds: list[set[int]] = [set() for _ in range(n)]
+    proposed_to: list[set[int]] = [set() for _ in range(n)]
+    next_idx = [0] * n  # next list position to propose to
+    from collections import deque
+
+    work = deque(i for i in range(n) if ps.quota(i) > 0)
+    in_queue = [ps.quota(i) > 0 for i in range(n)]
+
+    def needs(i: int) -> bool:
+        return len(proposed_to[i]) < ps.quota(i)
+
+    while work:
+        i = work.popleft()
+        in_queue[i] = False
+        lst = ps.preference_list(i)
+        while needs(i) and next_idx[i] < len(lst):
+            j = lst[next_idx[i]]
+            next_idx[i] += 1
+            if len(holds[j]) < ps.quota(j):
+                holds[j].add(i)
+                proposed_to[i].add(j)
+            else:
+                worst = max(holds[j], key=lambda v: ps.rank(j, v))
+                if ps.rank(j, i) < ps.rank(j, worst):
+                    holds[j].discard(worst)
+                    proposed_to[worst].discard(j)
+                    holds[j].add(i)
+                    proposed_to[i].add(j)
+                    if not in_queue[worst]:
+                        work.append(worst)
+                        in_queue[worst] = True
+                # else: rejected outright, continue down the list
+    mutual = [
+        (i, j)
+        for i in range(n)
+        for j in proposed_to[i]
+        if i < j and j in proposed_to[i] and i in proposed_to[j]
+    ]
+    exhausted = [i for i in range(n) if needs(i) and next_idx[i] >= ps.degree(i)]
+    return Phase1State(holds, proposed_to, mutual, exhausted)
+
+
+@dataclass
+class StableFixturesResult:
+    """A certified stable-fixtures answer.
+
+    ``matching`` is ``None`` when no stable matching was found;
+    ``exists`` is then ``False`` if exhaustive search proved
+    non-existence, or ``None`` if the instance was too large to decide.
+    """
+
+    matching: Optional[Matching]
+    method: Literal["irving", "phase1", "dynamics", "exhaustive", "none"]
+    exists: Optional[bool]
+
+
+def _exhaustive_stable(ps: PreferenceSystem, max_edges: int) -> Optional[Matching]:
+    edges = list(ps.edges())
+    if len(edges) > max_edges:
+        raise ValueError("instance too large for exhaustive stable search")
+    # search larger subsets first: stable matchings tend to be maximal
+    for r in range(len(edges), -1, -1):
+        for subset in combinations(edges, r):
+            m = Matching(ps.n)
+            ok = True
+            for i, j in subset:
+                if (
+                    m.degree(i) >= ps.quota(i)
+                    or m.degree(j) >= ps.quota(j)
+                ):
+                    ok = False
+                    break
+                m.add(i, j)
+            if ok and is_stable(ps, m):
+                return m
+    return None
+
+
+def stable_fixtures_matching(
+    ps: PreferenceSystem,
+    dynamics_steps: int = 20_000,
+    max_exhaustive_edges: int = 16,
+) -> StableFixturesResult:
+    """Find a stable b-matching, or decide/report non-existence.
+
+    See the module docstring for the three-stage strategy.  Every
+    returned matching satisfies :func:`repro.baselines.verify.is_stable`.
+
+    When every quota is 1 the instance is a stable roommates problem and
+    Irving's exact algorithm (:mod:`repro.baselines.stable_roommates`)
+    is tried first; its certified answers (including non-existence, with
+    no size limit) short-circuit the hybrid.
+    """
+    if all(ps.quota(i) <= 1 for i in ps.nodes()):
+        from repro.baselines.stable_roommates import stable_roommates
+
+        sr = stable_roommates(ps)
+        if sr.certain:
+            if sr.matching is not None:
+                return StableFixturesResult(sr.matching, "irving", True)
+            if sr.exists is False:
+                return StableFixturesResult(None, "irving", False)
+
+    state = phase1(ps)
+    candidate = Matching(ps.n, state.mutual)
+    if is_stable(ps, candidate):
+        return StableFixturesResult(candidate, "phase1", True)
+
+    dyn = best_response_dynamics(
+        ps, max_steps=dynamics_steps, rule="first", initial=candidate
+    )
+    if dyn.converged and is_stable(ps, dyn.matching):
+        return StableFixturesResult(dyn.matching, "dynamics", True)
+
+    if ps.m <= max_exhaustive_edges:
+        found = _exhaustive_stable(ps, max_exhaustive_edges)
+        if found is not None:
+            return StableFixturesResult(found, "exhaustive", True)
+        return StableFixturesResult(None, "none", False)
+    return StableFixturesResult(None, "none", None)

@@ -1,0 +1,59 @@
+"""Independent certifiers for preference-based properties.
+
+The weight-based certificates live in :mod:`repro.core.analysis`; this
+module certifies properties stated in terms of the *original preference
+lists* — most importantly b-matching **stability** (no blocking pair),
+the solution concept of the stable fixtures problem the paper
+generalises.
+
+Definitions (Irving & Scott [7], Cechlárová & Fleiner [1]):
+a pair ``(i, j) ∈ E \\ M`` *blocks* matching ``M`` when both endpoints
+would rather have the edge, where node ``v`` would rather have ``(v,u)``
+if it has spare quota (``c_v < b_v``) **or** it prefers ``u`` to at
+least one current partner.
+"""
+
+from __future__ import annotations
+
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+
+__all__ = ["blocking_pairs", "is_stable", "count_blocking_pairs"]
+
+Edge = tuple[int, int]
+
+
+def _would_accept(ps: PreferenceSystem, matching: Matching, v: int, u: int) -> bool:
+    """Whether node ``v`` would (weakly) gain by adding partner ``u``."""
+    conns = matching.connections(v)
+    if len(conns) < ps.quota(v):
+        return True
+    r = ps.rank(v, u)
+    return any(ps.rank(v, c) > r for c in conns)
+
+
+def blocking_pairs(ps: PreferenceSystem, matching: Matching) -> list[Edge]:
+    """All pairs blocking ``matching`` (empty iff stable)."""
+    out = []
+    for i, j in ps.edges():
+        if matching.has_edge(i, j):
+            continue
+        if _would_accept(ps, matching, i, j) and _would_accept(ps, matching, j, i):
+            out.append((i, j))
+    return out
+
+
+def count_blocking_pairs(ps: PreferenceSystem, matching: Matching) -> int:
+    """Number of blocking pairs — the instability measure used in F4."""
+    return len(blocking_pairs(ps, matching))
+
+
+def is_stable(ps: PreferenceSystem, matching: Matching) -> bool:
+    """Whether ``matching`` is a stable b-matching for ``ps``.
+
+    Feasibility is checked first; an infeasible matching is never
+    considered stable.
+    """
+    if not matching.is_feasible(ps):
+        return False
+    return not blocking_pairs(ps, matching)

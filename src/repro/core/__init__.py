@@ -1,0 +1,84 @@
+"""The paper's core contribution: satisfaction b-matching via weighted matching.
+
+Public surface:
+
+- :class:`~repro.core.preferences.PreferenceSystem` — the problem instance,
+- :mod:`~repro.core.satisfaction` — the §3 metric (eq. 1/4/5/6),
+- :class:`~repro.core.weights.WeightTable` /
+  :func:`~repro.core.weights.satisfaction_weights` — eq. 9 conversion,
+- :class:`~repro.core.matching.Matching` — many-to-many matchings,
+- :func:`~repro.core.lic.lic_matching` — Algorithm 2 (centralised),
+- :func:`~repro.core.lid.run_lid` / :func:`~repro.core.lid.solve_lid` —
+  Algorithm 1 (distributed, on the event simulator),
+- :mod:`~repro.core.analysis` — certificates and theorem bounds,
+- :mod:`~repro.core.variants` — future-work variants (§7).
+"""
+
+from repro.core.dynamic_lid import DynamicLidHarness, DynamicLidNode
+from repro.core.fast import (
+    edge_weight_arrays,
+    satisfaction_profile_fast,
+    satisfaction_weights_fast,
+)
+from repro.core.analysis import (
+    approximation_ratio,
+    greedy_certificate,
+    theorem1_bound,
+    theorem2_bound,
+    theorem3_bound,
+    weighted_blocking_edges,
+)
+from repro.core.lic import lic_matching, lic_matching_pool, solve_modified_bmatching
+from repro.core.mixed import MixedRunResult, run_mixed_adoption
+from repro.core.lid import LidNode, LidResult, run_lid, solve_lid
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+from repro.core.satisfaction import (
+    delta_full,
+    delta_static,
+    full_satisfaction,
+    lemma1_bound,
+    lemma1_worst_case,
+    static_dynamic_split,
+    static_satisfaction,
+    total_satisfaction,
+)
+from repro.core.variants import alpha_weight_table, two_phase_lid
+from repro.core.weights import WeightTable, satisfaction_weights
+
+__all__ = [
+    "DynamicLidHarness",
+    "edge_weight_arrays",
+    "satisfaction_profile_fast",
+    "satisfaction_weights_fast",
+    "DynamicLidNode",
+    "PreferenceSystem",
+    "Matching",
+    "WeightTable",
+    "satisfaction_weights",
+    "lic_matching",
+    "MixedRunResult",
+    "run_mixed_adoption",
+    "lic_matching_pool",
+    "solve_modified_bmatching",
+    "LidNode",
+    "LidResult",
+    "run_lid",
+    "solve_lid",
+    "delta_full",
+    "delta_static",
+    "full_satisfaction",
+    "static_satisfaction",
+    "static_dynamic_split",
+    "total_satisfaction",
+    "lemma1_bound",
+    "lemma1_worst_case",
+    "approximation_ratio",
+    "greedy_certificate",
+    "weighted_blocking_edges",
+    "theorem1_bound",
+    "theorem2_bound",
+    "theorem3_bound",
+    "alpha_weight_table",
+    "two_phase_lid",
+]

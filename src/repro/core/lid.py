@@ -1,0 +1,366 @@
+"""LID — Local Information-based Distributed algorithm (Algorithm 1).
+
+Every node ``i`` keeps four sets over its neighbourhood:
+
+- ``U_i`` — unresolved neighbours (no final answer exchanged yet),
+- ``P_i`` — neighbours ``i`` has proposed to (outstanding or locked),
+- ``A_i`` — neighbours that proposed to ``i`` (approachers),
+- ``K_i`` — locked (matched) neighbours,
+
+and a *weight list*: its neighbours ordered by decreasing edge key
+(eq. 9 weights, ties broken by node ids).  The protocol:
+
+1. Propose (``PROP``) to the top ``b_i`` entries of the weight list.
+2. A mutual proposal locks the edge at both endpoints (no extra message
+   is needed — each endpoint observes the other's ``PROP``).
+3. On receiving a rejection (``REJ``) for an outstanding proposal,
+   propose to the next unproposed neighbour in weight order.
+4. When no proposals are outstanding (``P_i \\ K_i = ∅`` — quota filled
+   or candidates exhausted), send ``REJ`` to every remaining neighbour
+   in ``U_i`` and terminate.
+
+Lemma 5 (symmetric weights ⇒ no communication cycles) guarantees
+termination; Lemmas 3–4 show the locked edges are exactly the locally
+heaviest ones, i.e. the LIC edge set, giving the ½ weighted-matching
+ratio (Theorem 2) and the ¼(1+1/b_max) satisfaction ratio (Theorem 3).
+
+Implementation notes
+--------------------
+- Steps 1 and 3 are implemented by a single ``_top_up`` routine ("while
+  ``|P_i| < b_i`` and an unproposed unresolved neighbour exists,
+  propose to the best one").  After a rejection of an outstanding
+  proposal this sends exactly one new ``PROP``; in all other states it
+  sends none — precisely the paper's "a new PROP message is sent only
+  if a previously asked node has explicitly declined".
+- A terminated node has left its receive loop; the simulator discards
+  messages addressed to it.  The analysis in §5 shows any such message
+  crossed the terminating node's final ``REJ`` broadcast, so the sender
+  learns the outcome regardless.  (The scheduler still counts these as
+  ``late_messages`` so tests can assert how often it happens.)
+- For the lossy-channel extension (A2, paper §7 future work) the node
+  supports *polite* termination plus timer-based ``PROP``
+  retransmission; see :class:`LidNode` parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable, satisfaction_weights
+from repro.distsim.metrics import SimMetrics
+from repro.distsim.network import LatencyModel, Network
+from repro.distsim.node import ProtocolNode
+from repro.distsim.scheduler import Simulator
+from repro.distsim.tracing import Trace
+from repro.utils.validation import ProtocolError
+
+__all__ = ["LidNode", "LidResult", "run_lid", "solve_lid"]
+
+PROP = "PROP"
+REJ = "REJ"
+
+
+class LidNode(ProtocolNode):
+    """State machine of one LID participant.
+
+    Parameters
+    ----------
+    weight_list:
+        Neighbours in strictly decreasing edge-key order (node ``i``'s
+        auxiliary *weight list*; see :meth:`WeightTable.weight_list`).
+    quota:
+        Connection quota ``b_i``.
+    polite:
+        When ``True`` the node does not hard-terminate: after finishing
+        it keeps answering stray ``PROP`` messages with ``REJ``.  This
+        is the behaviour required for the retransmission extension under
+        message loss; the faithful Algorithm 1 uses ``polite=False``.
+    retransmit_timeout:
+        When set (virtual time units), outstanding proposals are
+        re-sent after this delay until answered — the minimal reliability
+        wrapper evaluated in experiment A2.
+    """
+
+    def __init__(
+        self,
+        weight_list: Sequence[int],
+        quota: int,
+        polite: bool = False,
+        retransmit_timeout: Optional[float] = None,
+    ):
+        super().__init__()
+        self.weight_list: list[int] = list(weight_list)
+        self.quota = int(quota)
+        self.polite = polite
+        self.retransmit_timeout = retransmit_timeout
+        # protocol sets (paper names)
+        self.unresolved: set[int] = set()   # U_i
+        self.proposed: set[int] = set()     # P_i
+        self.approachers: set[int] = set()  # A_i
+        self.locked: set[int] = set()       # K_i
+        self._pos = 0  # weight-list scan position (next unproposed candidate)
+        self.finished = False
+        # statistics
+        self.props_sent = 0
+        self.rejs_sent = 0
+        self.anomalies = 0
+
+    # -- protocol ------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.unresolved = set(self.weight_list)
+        self._process()
+
+    def on_message(self, src: int, kind: str, payload) -> None:
+        if kind == PROP:
+            if src in self.locked:
+                # duplicate of an already-locked proposal.  A *retry*
+                # duplicate (timer retransmission) means the sender never
+                # saw our PROP — our lock confirmation was lost — so we
+                # re-send it.  Plain duplicates (stale retransmits
+                # overtaken by the lock) are ignored, which breaks the
+                # would-be PROP ping-pong between locked partners.  In
+                # the faithful reliable-channel protocol neither case
+                # can happen except from Byzantine peers.
+                if self.retransmit_timeout is not None and payload == "retry":
+                    self.send(src, PROP)
+                    self.props_sent += 1
+                else:
+                    self.anomalies += 1
+                return
+            if self.finished:
+                # polite mode: we already rejected everyone; answer the
+                # (necessarily retransmitted) proposal again
+                self.send(src, REJ)
+                self.rejs_sent += 1
+                return
+            self.approachers.add(src)
+            self._process()
+        elif kind == REJ:
+            if src in self.locked:
+                # a locked partner never rejects (only Byzantine peers do)
+                self.anomalies += 1
+                return
+            if src not in self.unresolved:
+                self.anomalies += 1  # duplicate REJ
+                return
+            self.unresolved.discard(src)
+            self.proposed.discard(src)
+            self.approachers.discard(src)
+            self._process()
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"LID node got unknown message kind {kind!r}")
+
+    def on_timer(self, tag) -> None:
+        # retransmission: tag is the neighbour the proposal went to
+        if self.finished:
+            return
+        j = tag
+        if j in self.proposed and j not in self.locked:
+            self.send(j, PROP, payload="retry")
+            self.props_sent += 1
+            assert self.retransmit_timeout is not None
+            self.set_timer(self.retransmit_timeout, j)
+
+    # -- internals -------------------------------------------------------
+
+    def _outstanding(self) -> set[int]:
+        """``P_i \\ K_i`` — proposals awaiting an answer."""
+        return self.proposed - self.locked
+
+    def _propose(self, j: int) -> None:
+        self.proposed.add(j)
+        self.send(j, PROP)
+        self.props_sent += 1
+        if self.retransmit_timeout is not None:
+            self.set_timer(self.retransmit_timeout, j)
+
+    def _top_up(self) -> bool:
+        """Propose to best unproposed unresolved neighbours up to quota."""
+        sent = False
+        while len(self.proposed) < self.quota:
+            j = self._next_candidate()
+            if j is None:
+                break
+            self._propose(j)
+            sent = True
+        return sent
+
+    def _next_candidate(self) -> Optional[int]:
+        while self._pos < len(self.weight_list):
+            j = self.weight_list[self._pos]
+            if j in self.unresolved and j not in self.proposed:
+                self._pos += 1
+                return j
+            self._pos += 1
+        return None
+
+    def _try_lock(self) -> bool:
+        """Lock every mutually proposed edge (lines 12–14)."""
+        ready = self._outstanding() & self.approachers
+        for v in ready:
+            self.locked.add(v)
+            self.approachers.discard(v)
+            self.unresolved.discard(v)
+        return bool(ready)
+
+    def _process(self) -> None:
+        if self.finished:
+            return
+        changed = True
+        while changed:
+            changed = self._try_lock()
+            changed = self._top_up() or changed
+        if not self._outstanding():
+            self._finish()
+
+    def _finish(self) -> None:
+        """Lines 15–16: reject all unresolved neighbours and stop."""
+        self.finished = True
+        for v in self.unresolved:
+            self.send(v, REJ)
+            self.rejs_sent += 1
+        self.unresolved.clear()
+        self.approachers.clear()
+        if not self.polite:
+            self.terminate()
+
+
+@dataclass
+class LidResult:
+    """Outcome of a distributed LID run.
+
+    Attributes
+    ----------
+    matching:
+        The locked edge set (validated symmetric before construction).
+    metrics:
+        Simulator accounting (message counts, virtual end time, events).
+    nodes:
+        The node objects, exposing per-node statistics.
+    late_messages:
+        Deliveries discarded because the receiver had terminated.
+    """
+
+    matching: Matching
+    metrics: SimMetrics
+    nodes: list[LidNode]
+    late_messages: int
+
+    @property
+    def prop_messages(self) -> int:
+        """Total ``PROP`` messages sent."""
+        return self.metrics.sent_by_kind.get(PROP, 0)
+
+    @property
+    def rej_messages(self) -> int:
+        """Total ``REJ`` messages sent."""
+        return self.metrics.sent_by_kind.get(REJ, 0)
+
+    @property
+    def rounds(self) -> float:
+        """Virtual quiescence time (asynchronous rounds under unit latency)."""
+        return self.metrics.end_time
+
+    @property
+    def causal_rounds(self) -> int:
+        """Longest causal message chain — exact asynchronous round count,
+        independent of the latency model."""
+        return self.metrics.max_depth
+
+
+def _extract_matching(nodes: Sequence[LidNode]) -> Matching:
+    n = len(nodes)
+    matching = Matching(n)
+    for i, node in enumerate(nodes):
+        for j in node.locked:
+            if not (0 <= j < n) or i not in nodes[j].locked:
+                raise ProtocolError(
+                    f"asymmetric lock: {i} locked {j} but not vice versa"
+                )
+            if i < j:
+                matching.add(i, j)
+    return matching
+
+
+def run_lid(
+    wt: WeightTable,
+    quotas: Sequence[int],
+    latency: Optional[LatencyModel] = None,
+    fifo: bool = True,
+    seed: int = 0,
+    trace: Optional[Trace] = None,
+    drop_filter=None,
+    retransmit_timeout: Optional[float] = None,
+    enforce_links: bool = True,
+    max_events: Optional[int] = None,
+) -> LidResult:
+    """Execute LID over a weight table on the discrete-event simulator.
+
+    Parameters mirror the simulator substrate; the defaults give the
+    faithful Algorithm 1 over reliable FIFO unit-latency channels.  Any
+    latency model / FIFO setting yields the *same* matching (the LIC edge
+    set) — a consequence of Lemmas 3–6 that the test suite checks
+    property-style.
+
+    Returns
+    -------
+    LidResult
+        Matching plus message/time accounting.
+    """
+    n = wt.n
+    if len(quotas) != n:
+        raise ValueError(f"quotas length {len(quotas)} != n={n}")
+    polite = retransmit_timeout is not None
+    nodes = [
+        LidNode(
+            wt.weight_list(i),
+            quotas[i],
+            polite=polite,
+            retransmit_timeout=retransmit_timeout,
+        )
+        for i in range(n)
+    ]
+    network = Network(
+        n,
+        latency=latency,
+        fifo=fifo,
+        links=wt.edges() if enforce_links else None,
+        drop_filter=drop_filter,
+        seed=seed,
+    )
+    sim = Simulator(network, nodes, trace=trace)
+    metrics = sim.run(max_events=max_events)
+    for i, node in enumerate(nodes):
+        if not node.finished:
+            raise ProtocolError(f"node {i} did not finish (Lemma 5 violated?)")
+    matching = _extract_matching(nodes)
+    return LidResult(
+        matching=matching,
+        metrics=metrics,
+        nodes=nodes,
+        late_messages=sim.late_messages,
+    )
+
+
+def solve_lid(
+    ps: PreferenceSystem,
+    latency: Optional[LatencyModel] = None,
+    fifo: bool = True,
+    seed: int = 0,
+    trace: Optional[Trace] = None,
+) -> tuple[LidResult, WeightTable]:
+    """End-to-end LID pipeline for a preference system.
+
+    Builds the eq.-9 weights, runs LID, validates the result against the
+    instance, and returns ``(result, weight_table)``.  By Theorem 3 the
+    matching's full satisfaction is a ¼(1+1/b_max)-approximation of the
+    maximising-satisfaction b-matching optimum.
+    """
+    wt = satisfaction_weights(ps)
+    result = run_lid(wt, ps.quotas, latency=latency, fifo=fifo, seed=seed, trace=trace)
+    result.matching.validate(ps)
+    return result, wt

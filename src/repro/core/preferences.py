@@ -1,0 +1,303 @@
+"""Problem model of the paper (Section 2): graphs with preference lists.
+
+A peer-to-peer overlay is an undirected graph ``G(V, E)``.  Each node ``i``
+keeps a *preference list* ``L_i``: a strict ranking of its entire
+neighbourhood ``Γ_i``.  The rank function ``R_i(j)`` gives the position of
+neighbour ``j`` in ``i``'s list, with ``R_i(.) ∈ {0, 1, ..., |L_i|-1}`` and
+``0`` denoting the most desirable neighbour.  Each node also carries a
+connection quota ``b_i ≤ |L_i|``: the maximum number of matched
+connections it may hold at any time.
+
+:class:`PreferenceSystem` is the immutable instance object consumed by
+every algorithm in the library (LID, LIC, exact solvers, baselines).
+Nodes are integers ``0..n-1``; callers with richer peer objects map
+through :mod:`repro.overlay.builder`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.utils.validation import InvalidInstanceError
+
+__all__ = ["PreferenceSystem"]
+
+
+class PreferenceSystem:
+    """An instance of the generalised stable roommates / b-matching model.
+
+    Parameters
+    ----------
+    rankings:
+        ``rankings[i]`` is the full preference list of node ``i``: a
+        sequence of neighbour ids in strictly decreasing desirability
+        (index 0 = most preferred).  The induced adjacency must be
+        symmetric: ``j in rankings[i]`` iff ``i in rankings[j]``.
+    quotas:
+        ``quotas[i] = b_i``.  Accepts a mapping, a sequence, or a single
+        int applied uniformly.  Following the paper, values larger than
+        ``|L_i|`` are clamped to ``|L_i|`` ("we are assuming b_i ≤ |L_i|,
+        otherwise we can easily take b_i = |L_i|").  Quotas must be
+        >= 1 except for isolated nodes, whose quota is 0.
+
+    Notes
+    -----
+    The object is treated as immutable after construction; all algorithm
+    state lives elsewhere.  Rankings are stored as tuples and rank lookup
+    tables are precomputed, so ``rank(i, j)`` is O(1).
+    """
+
+    __slots__ = ("_rankings", "_ranks", "_quotas", "_edges", "_n")
+
+    def __init__(
+        self,
+        rankings: Mapping[int, Sequence[int]] | Sequence[Sequence[int]],
+        quotas: Mapping[int, int] | Sequence[int] | int,
+    ):
+        if isinstance(rankings, Mapping):
+            items = dict(rankings)
+        else:
+            items = {i: list(lst) for i, lst in enumerate(rankings)}
+        if not items:
+            raise InvalidInstanceError("instance must contain at least one node")
+        nodes = sorted(items)
+        if nodes != list(range(len(nodes))):
+            raise InvalidInstanceError(
+                f"nodes must be consecutive integers 0..n-1, got {nodes[:10]}..."
+            )
+        self._n = len(nodes)
+        self._rankings: tuple[tuple[int, ...], ...] = tuple(
+            tuple(int(j) for j in items[i]) for i in nodes
+        )
+        self._validate_rankings()
+        self._quotas = self._normalise_quotas(quotas)
+        self._ranks: tuple[dict[int, int], ...] = tuple(
+            {j: r for r, j in enumerate(lst)} for lst in self._rankings
+        )
+        self._edges: tuple[tuple[int, int], ...] = tuple(
+            sorted(
+                (i, j) for i in range(self._n) for j in self._rankings[i] if i < j
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_scores(
+        cls,
+        adjacency: Mapping[int, Iterable[int]] | Sequence[Iterable[int]],
+        score: Callable[[int, int], float],
+        quotas: Mapping[int, int] | Sequence[int] | int,
+    ) -> "PreferenceSystem":
+        """Build preference lists by ranking each neighbourhood by a score.
+
+        ``score(i, j)`` is node ``i``'s private suitability value for
+        neighbour ``j`` — higher is better.  Ties are broken by neighbour
+        id (ascending) so construction is deterministic.
+        """
+        if isinstance(adjacency, Mapping):
+            adj = {i: list(v) for i, v in adjacency.items()}
+        else:
+            adj = {i: list(v) for i, v in enumerate(adjacency)}
+        rankings = {
+            i: sorted(neigh, key=lambda j: (-score(i, j), j)) for i, neigh in adj.items()
+        }
+        return cls(rankings, quotas)
+
+    def _normalise_quotas(
+        self, quotas: Mapping[int, int] | Sequence[int] | int
+    ) -> tuple[int, ...]:
+        if isinstance(quotas, bool):
+            raise InvalidInstanceError("quotas must be int-valued, got bool")
+        if isinstance(quotas, int):
+            values = [quotas] * self._n
+        elif isinstance(quotas, Mapping):
+            missing = [i for i in range(self._n) if i not in quotas]
+            if missing:
+                raise InvalidInstanceError(f"quotas missing for nodes {missing[:10]}")
+            values = [int(quotas[i]) for i in range(self._n)]
+        else:
+            values = [int(q) for q in quotas]
+            if len(values) != self._n:
+                raise InvalidInstanceError(
+                    f"quota sequence has length {len(values)}, expected {self._n}"
+                )
+        out = []
+        for i, q in enumerate(values):
+            deg = len(self._rankings[i])
+            if deg == 0:
+                out.append(0)
+                continue
+            if q < 1:
+                raise InvalidInstanceError(f"quota of node {i} must be >= 1, got {q}")
+            out.append(min(q, deg))
+        return tuple(out)
+
+    def _validate_rankings(self) -> None:
+        for i, lst in enumerate(self._rankings):
+            seen = set()
+            for j in lst:
+                if j == i:
+                    raise InvalidInstanceError(f"node {i} ranks itself")
+                if not (0 <= j < self._n):
+                    raise InvalidInstanceError(f"node {i} ranks unknown node {j}")
+                if j in seen:
+                    raise InvalidInstanceError(f"node {i} ranks node {j} twice")
+                seen.add(j)
+        # symmetry: preference lists must cover exactly the neighbourhood
+        neigh_sets = [set(lst) for lst in self._rankings]
+        for i, s in enumerate(neigh_sets):
+            for j in s:
+                if i not in neigh_sets[j]:
+                    raise InvalidInstanceError(
+                        f"adjacency asymmetric: {i} ranks {j} but {j} does not rank {i}"
+                    )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return len(self._edges)
+
+    def nodes(self) -> range:
+        """Iterable of node ids ``0..n-1``."""
+        return range(self._n)
+
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """All undirected edges as ``(i, j)`` with ``i < j``."""
+        return self._edges
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        """Neighbourhood ``Γ_i`` in preference order (best first)."""
+        return self._rankings[i]
+
+    def preference_list(self, i: int) -> tuple[int, ...]:
+        """Alias of :meth:`neighbors` matching the paper's ``L_i``."""
+        return self._rankings[i]
+
+    def degree(self, i: int) -> int:
+        """Degree ``d_i`` (also the preference-list length ``|L_i|``)."""
+        return len(self._rankings[i])
+
+    def list_length(self, i: int) -> int:
+        """``|L_i|`` — identical to degree, kept for formula readability."""
+        return len(self._rankings[i])
+
+    def rank(self, i: int, j: int) -> int:
+        """Rank ``R_i(j)`` of neighbour ``j`` in node ``i``'s list (0 = best)."""
+        try:
+            return self._ranks[i][j]
+        except KeyError:
+            raise KeyError(f"node {j} is not a neighbour of node {i}") from None
+
+    def quota(self, i: int) -> int:
+        """Connection quota ``b_i``."""
+        return self._quotas[i]
+
+    @property
+    def quotas(self) -> tuple[int, ...]:
+        """All quotas as a tuple indexed by node id."""
+        return self._quotas
+
+    @property
+    def b_max(self) -> int:
+        """Maximum quota ``b_max`` over all nodes (1 if all nodes isolated)."""
+        return max(self._quotas, default=1) or 1
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Whether ``(i, j)`` is a potential connection in ``E``."""
+        return j in self._ranks[i]
+
+    def top(self, i: int, k: int) -> tuple[int, ...]:
+        """Node ``i``'s ``k`` most preferred neighbours."""
+        return self._rankings[i][:k]
+
+    # ------------------------------------------------------------------
+    # structural analysis
+    # ------------------------------------------------------------------
+
+    def preference_cycles_digraph(self) -> dict[tuple[int, int], list[tuple[int, int]]]:
+        """Directed "pivot" graph whose cycles are preference cycles.
+
+        Vertices are directed edges ``(u, i)`` of ``G``.  There is an arc
+        ``(u, i) -> (i, v)`` whenever node ``i`` strictly prefers ``v`` to
+        ``u``.  A directed cycle in this graph corresponds exactly to a
+        cyclic sequence of nodes ``n_0, ..., n_{k-1}`` in which every node
+        prefers its successor to its predecessor — the destabilising
+        structure of Gai et al. [3] and the communication cycle ruled out
+        by Lemma 5 for symmetric weights.
+        """
+        arcs: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for i in range(self._n):
+            lst = self._rankings[i]
+            # v appears before u in lst  <=>  i prefers v to u
+            for pos_u, u in enumerate(lst):
+                arcs[(u, i)] = [(i, v) for v in lst[:pos_u]]
+        return arcs
+
+    def is_acyclic(self) -> bool:
+        """Check the acyclic-preferences condition of Gai et al. [3].
+
+        Returns ``True`` when no preference cycle exists, i.e. there is no
+        node sequence ``n_0, ..., n_{k-1}`` (k >= 3, cyclically) where each
+        ``n_i`` strictly prefers ``n_{i+1}`` to ``n_{i-1}``.  Acyclicity is
+        the condition under which best-response b-matching dynamics are
+        guaranteed to stabilise; the paper's LID sidesteps it entirely via
+        symmetric weights.
+        """
+        arcs = self.preference_cycles_digraph()
+        # iterative three-colour DFS over the pivot digraph
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {v: WHITE for v in arcs}
+        for root in arcs:
+            if colour[root] != WHITE:
+                continue
+            stack: list[tuple[tuple[int, int], int]] = [(root, 0)]
+            colour[root] = GREY
+            while stack:
+                v, idx = stack[-1]
+                out = arcs[v]
+                if idx < len(out):
+                    stack[-1] = (v, idx + 1)
+                    w = out[idx]
+                    c = colour[w]
+                    if c == GREY:
+                        return False
+                    if c == WHITE:
+                        colour[w] = GREY
+                        stack.append((w, 0))
+                else:
+                    colour[v] = BLACK
+                    stack.pop()
+        return True
+
+    # ------------------------------------------------------------------
+    # dunder / misc
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PreferenceSystem):
+            return NotImplemented
+        return self._rankings == other._rankings and self._quotas == other._quotas
+
+    def __hash__(self) -> int:
+        return hash((self._rankings, self._quotas))
+
+    def __repr__(self) -> str:
+        return f"PreferenceSystem(n={self._n}, m={self.m}, b_max={self.b_max})"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n

@@ -1,0 +1,107 @@
+"""Algorithm variants from the paper's future-work agenda (§7).
+
+The conclusion sketches three research directions; this module provides
+concrete, testable instantiations of two of them (the third — churn —
+lives in :mod:`repro.overlay.churn`):
+
+1. *"variations of the algorithm that can give minimum satisfaction
+   guarantees individually to each collaborating peer"* —
+   :func:`two_phase_lid`: a reservation scheme that first matches a
+   rank-truncated overlay (everyone competes only for mutually top-ranked
+   partners, with reduced quotas) and then fills residual quota by plain
+   LID on the remaining graph.  The first phase can only award
+   high-static-value edges, which lifts the per-node *minimum*
+   satisfaction on contention-heavy instances (measured in bench A3/F1
+   companions), at a small cost in total satisfaction.
+
+2. *"achieve a better approximation ratio"* (exploration) —
+   :func:`alpha_weight_table`: a generalised weight family
+   ``w_α(i,j) = (1 - R_i(j)/ℓ_i)^α / b_i + (1 - R_j(i)/ℓ_j)^α / b_j``.
+   ``α = 1`` recovers eq. 9; larger ``α`` emphasises top ranks.  The
+   ablation bench sweeps α and shows eq. 9 is the right trade-off for
+   the *total* satisfaction objective while large α trades total for
+   minimum satisfaction.
+
+Both variants return ordinary :class:`~repro.core.matching.Matching`
+objects, so every certificate in :mod:`repro.core.analysis` applies.
+"""
+
+from __future__ import annotations
+
+from repro.core.lic import lic_matching
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable, satisfaction_weights
+
+__all__ = ["two_phase_lid", "alpha_weight_table"]
+
+
+def two_phase_lid(ps: PreferenceSystem, top_fraction: float = 0.5) -> Matching:
+    """Reservation variant: protect each node's top-ranked opportunities.
+
+    Phase 1 restricts the overlay to edges ``(i, j)`` where *both*
+    endpoints rank each other within their top ``⌈top_fraction · ℓ⌉``
+    preferences, and runs greedy matching with reduced quotas
+    ``⌈top_fraction · b_i⌉``.  Phase 2 runs greedy on all remaining
+    edges with the residual quotas.  The union is returned.
+
+    Uses the (LID-equivalent) LIC executor for both phases; the result
+    is therefore reproducible distributedly by running LID twice.
+    """
+    if not (0.0 < top_fraction <= 1.0):
+        raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    wt = satisfaction_weights(ps)
+
+    def top_k(i: int) -> int:
+        ell = ps.list_length(i)
+        return max(1, int(-(-top_fraction * ell // 1))) if ell else 0  # ceil
+
+    phase1_edges = {
+        (i, j): wt.weight(i, j)
+        for i, j in ps.edges()
+        if ps.rank(i, j) < top_k(i) and ps.rank(j, i) < top_k(j)
+    }
+    reduced_quotas = [
+        max(1, -(-int(ps.quota(i) * top_fraction) // 1)) if ps.quota(i) else 0
+        for i in ps.nodes()
+    ]
+    # phase 1 on the mutual-top subgraph
+    m1 = (
+        lic_matching(WeightTable(phase1_edges, ps.n), reduced_quotas)
+        if phase1_edges
+        else Matching(ps.n)
+    )
+    # phase 2 on everything else with residual quota
+    residual = [ps.quota(i) - m1.degree(i) for i in ps.nodes()]
+    phase2_edges = {
+        (i, j): wt.weight(i, j)
+        for i, j in ps.edges()
+        if not m1.has_edge(i, j)
+    }
+    combined = m1.copy()
+    if phase2_edges:
+        m2 = lic_matching(
+            WeightTable(phase2_edges, ps.n),
+            [max(0, r) for r in residual],
+        )
+        for i, j in m2.edges():
+            combined.add(i, j)
+    combined.validate(ps)
+    return combined
+
+
+def alpha_weight_table(ps: PreferenceSystem, alpha: float) -> WeightTable:
+    """Generalised eq.-9 weights with rank-emphasis exponent ``alpha``.
+
+    ``alpha=1`` is exactly eq. 9 (up to float rounding).  The ablation
+    bench (A1 companion) sweeps ``alpha`` to show how the weight design
+    trades total against minimum satisfaction.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    weights = {}
+    for i, j in ps.edges():
+        wi = (1.0 - ps.rank(i, j) / ps.list_length(i)) ** alpha / ps.quota(i)
+        wj = (1.0 - ps.rank(j, i) / ps.list_length(j)) ** alpha / ps.quota(j)
+        weights[(i, j)] = wi + wj
+    return WeightTable(weights, ps.n)

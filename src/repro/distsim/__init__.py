@@ -1,0 +1,50 @@
+"""Discrete-event message-passing simulation substrate.
+
+The paper's LID algorithm is specified purely in terms of asynchronous
+point-to-point messages (``PROP``/``REJ``) between overlay neighbours.
+This package provides the substrate that executes such protocols:
+
+- :mod:`repro.distsim.messages` — typed message records,
+- :mod:`repro.distsim.events` — the event queue entries,
+- :mod:`repro.distsim.scheduler` — a deterministic discrete-event engine,
+- :mod:`repro.distsim.network` — channels with pluggable latency models,
+  FIFO enforcement and failure-injection hooks,
+- :mod:`repro.distsim.node` — the protocol-node base class,
+- :mod:`repro.distsim.metrics` — message and timing accounting,
+- :mod:`repro.distsim.failures` — message loss / crash / Byzantine
+  adapters for the robustness experiments (paper §7 future work),
+- :mod:`repro.distsim.tracing` — structured execution traces.
+
+Determinism: given the same seed and protocol, every run produces an
+identical event sequence — ties in delivery time are broken by a
+monotone sequence number.  This is what makes the distributed
+experiments (T3, T4, F2, A2) exactly reproducible.
+"""
+
+from repro.distsim.messages import Message
+from repro.distsim.network import (
+    ConstantLatency,
+    ExponentialLatency,
+    Network,
+    UniformLatency,
+)
+from repro.distsim.node import ProtocolNode
+from repro.distsim.scheduler import Simulator
+from repro.distsim.metrics import SimMetrics
+from repro.distsim.failures import BernoulliLoss, CrashSchedule
+from repro.distsim.tracing import Trace, TraceRecord
+
+__all__ = [
+    "Message",
+    "Network",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "ProtocolNode",
+    "Simulator",
+    "SimMetrics",
+    "BernoulliLoss",
+    "CrashSchedule",
+    "Trace",
+    "TraceRecord",
+]

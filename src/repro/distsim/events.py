@@ -1,0 +1,36 @@
+"""Event-queue entries for the discrete-event scheduler.
+
+Events are totally ordered by ``(time, order)``, where ``order`` is a
+monotone counter assigned at scheduling time.  The counter guarantees a
+deterministic processing order for simultaneous events, independent of
+heap internals — a prerequisite for reproducible distributed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "DELIVERY", "TIMER", "CONTROL"]
+
+#: Event kinds understood by the scheduler.
+DELIVERY = "delivery"
+TIMER = "timer"
+CONTROL = "control"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """A scheduled occurrence.
+
+    ``data`` carries the :class:`~repro.distsim.messages.Message` for
+    deliveries, the timer tag for timers, or a callable for control
+    events (used by churn scripts to inject joins/leaves at fixed
+    virtual times).
+    """
+
+    time: float
+    order: int
+    kind: str = field(compare=False)
+    node: int = field(compare=False)
+    data: Any = field(compare=False, default=None)

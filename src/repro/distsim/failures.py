@@ -1,0 +1,112 @@
+"""Failure injection: message loss, node crashes, Byzantine behaviour.
+
+The paper's future-work section (§7) asks how the greedy strategy copes
+with "scenarios where some malicious nodes actively try to disrupt the
+algorithm's execution".  These adapters let the A2 robustness experiment
+exercise LID under:
+
+- i.i.d. message loss (:class:`BernoulliLoss`),
+- scheduled node crashes (:class:`CrashSchedule`),
+- Byzantine nodes that reject everyone or spam proposals
+  (:func:`make_byzantine`).
+
+LID as published assumes reliable channels; under loss it can stall
+(a node waits forever for an answer).  The experiment quantifies the
+stall probability and shows that the timeout-based retransmission
+wrapper (:class:`repro.core.lid.LidNode` with ``retransmit_timeout``)
+restores termination — a minimal, documented extension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.distsim.messages import Message
+from repro.utils.validation import check_probability
+
+__all__ = ["BernoulliLoss", "CrashSchedule", "make_byzantine"]
+
+
+class BernoulliLoss:
+    """Drop filter: each message is lost independently with probability ``p``.
+
+    Optionally restricted to a set of ``victims`` (messages to or from
+    those nodes), modelling lossy last-mile links.
+    """
+
+    def __init__(self, p: float, victims: Iterable[int] | None = None):
+        self.p = check_probability(p, "p")
+        self.victims = None if victims is None else frozenset(victims)
+
+    def __call__(self, msg: Message, rng: np.random.Generator) -> bool:
+        if self.victims is not None and msg.src not in self.victims and msg.dst not in self.victims:
+            return False
+        return bool(rng.random() < self.p)
+
+
+class CrashSchedule:
+    """Crash the given nodes at the given virtual times.
+
+    Usage::
+
+        sched = CrashSchedule([(5.0, 3), (9.0, 7)])
+        sched.install(sim)
+    """
+
+    def __init__(self, crashes: Sequence[tuple[float, int]]):
+        self.crashes = sorted(crashes)
+
+    def install(self, sim) -> None:
+        """Register control events on a simulator."""
+        for time, node in self.crashes:
+            sim.schedule_control(time, lambda s, node=node: s.crash(node))
+
+
+def make_byzantine(node, mode: str = "reject_all"):
+    """Wrap a protocol node with disruptive behaviour.
+
+    Modes
+    -----
+    ``reject_all``:
+        The node answers every proposal with ``REJ`` and proposes to
+        nobody — it removes itself from the matching while forcing
+        neighbours to walk down their weight lists.
+    ``accept_all``:
+        The node proposes to *every* neighbour regardless of quota,
+        trying to lock more connections than allowed.  Honest LID nodes
+        are not harmed: they lock at most their own quota, and the
+        resulting matching restricted to honest-honest edges stays
+        feasible (checked by experiment A2).
+    """
+    if mode == "reject_all":
+        original_on_message = node.on_message
+
+        def on_message(src: int, kind: str, payload) -> None:
+            if kind == "PROP":
+                node.send(src, "REJ")
+            # swallow everything else
+
+        def on_start() -> None:
+            node.terminated = False  # stays alive to keep rejecting
+
+        node.on_message = on_message
+        node.on_start = on_start
+        node._byzantine = ("reject_all", original_on_message)
+        return node
+    if mode == "accept_all":
+        def on_start() -> None:
+            for j in node.weight_list:
+                node.send(j, "PROP")
+
+        def on_message(src: int, kind: str, payload) -> None:
+            if kind == "PROP":
+                # claims the connection but never honours quota
+                node.locked.add(src)
+
+        node.on_start = on_start
+        node.on_message = on_message
+        node._byzantine = ("accept_all", None)
+        return node
+    raise ValueError(f"unknown byzantine mode {mode!r}")

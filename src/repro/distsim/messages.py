@@ -1,0 +1,40 @@
+"""Message records exchanged by protocol nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """An in-flight point-to-point message.
+
+    Attributes
+    ----------
+    src, dst:
+        Sender / receiver node ids.
+    kind:
+        Protocol-level message type, e.g. ``"PROP"`` or ``"REJ"``.
+    payload:
+        Arbitrary protocol data (LID needs none; kept generic so other
+        protocols can reuse the substrate).
+    seq:
+        Global send sequence number, assigned by the network at send
+        time.  Used for FIFO bookkeeping, deterministic tie-breaking and
+        trace correlation.
+    depth:
+        Causal depth: 1 + the depth of the message whose handler sent
+        this one (1 for messages sent from ``on_start``).  The maximum
+        over a run is the exact asynchronous round count of the
+        protocol, independent of the latency model.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = field(default=None, compare=False)
+    seq: int = 0
+    depth: int = field(default=1, compare=False)

@@ -1,0 +1,237 @@
+"""Network model: channels, latency, FIFO delivery and loss hooks.
+
+The network sits between sending nodes and the scheduler.  It decides
+*when* (latency model, FIFO constraint) and *whether* (loss filter) a
+message is delivered.  All randomness comes from generators spawned off
+the simulation's root seed, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Protocol
+
+import numpy as np
+
+from repro.distsim.messages import Message
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "Network",
+]
+
+
+class LatencyModel(Protocol):
+    """Callable producing a per-message latency sample."""
+
+    def __call__(self, msg: Message, rng: np.random.Generator) -> float: ...
+
+
+class ConstantLatency:
+    """Every message takes exactly ``delay`` time units.
+
+    With ``delay=1`` the virtual completion time of a protocol equals the
+    length of its longest causal message chain — i.e. the number of
+    asynchronous *rounds*, which is what experiment T4/F2 report.
+    """
+
+    def __init__(self, delay: float = 1.0):
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        self.delay = float(delay)
+
+    def __call__(self, msg: Message, rng: np.random.Generator) -> float:
+        return self.delay
+
+
+class UniformLatency:
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5):
+        if not (0 < low <= high):
+            raise ValueError(f"need 0 < low <= high, got {low}, {high}")
+        self.low = float(low)
+        self.high = float(high)
+
+    def __call__(self, msg: Message, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+class ExponentialLatency:
+    """Heavy-ish tail latency: ``eps + Exp(mean)``.
+
+    The small ``eps`` floor keeps time strictly advancing so causal
+    chains cannot collapse to zero virtual time.
+    """
+
+    def __init__(self, mean: float = 1.0, eps: float = 1e-3):
+        if mean <= 0 or eps <= 0:
+            raise ValueError("mean and eps must be positive")
+        self.mean = float(mean)
+        self.eps = float(eps)
+
+    def __call__(self, msg: Message, rng: np.random.Generator) -> float:
+        return self.eps + float(rng.exponential(self.mean))
+
+
+#: Filter deciding whether a message is dropped; returns True to DROP.
+DropFilter = Callable[[Message, np.random.Generator], bool]
+
+
+class Network:
+    """Point-to-point channels between ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    latency:
+        Latency model instance (default: constant 1 — asynchronous
+        rounds).
+    fifo:
+        When ``True`` (default) each directed channel delivers messages
+        in send order: a message's delivery time is clamped to be
+        strictly after the previously scheduled delivery on the same
+        channel.  LID is correct under non-FIFO delivery too (messages
+        carry no sequencing assumptions); both modes are exercised in
+        tests.
+    links:
+        Optional iterable of allowed undirected links ``(i, j)``.  When
+        given, sending along a non-link raises — this enforces the
+        paper's locality claim that peers only talk to overlay
+        neighbours.
+    drop_filter:
+        Optional loss injector (see :mod:`repro.distsim.failures`).
+    seed:
+        Root seed for the network's randomness (latency, loss).
+    bandwidth:
+        Optional per-directed-channel capacity in size units per time
+        unit.  When set, each message occupies its outgoing channel for
+        ``size/bandwidth`` before propagation starts (store-and-forward
+        serialisation): a queueing model that makes bursts stretch out
+        in virtual time, as on a real uplink.
+    msg_size:
+        Message size: a constant or a ``Message -> float`` callable
+        (e.g. larger ``HELLO`` digests than ``REJ`` flags).  Only used
+        when ``bandwidth`` is set.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = True,
+        links: Optional[Iterable[tuple[int, int]]] = None,
+        drop_filter: Optional[DropFilter] = None,
+        seed: Optional[int] = 0,
+        bandwidth: Optional[float] = None,
+        msg_size: float | Callable[[Message], float] = 1.0,
+    ):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.fifo = fifo
+        self.drop_filter = drop_filter
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.bandwidth = bandwidth
+        self.msg_size = msg_size
+        self._busy_until: dict[tuple[int, int], float] = {}
+        self._rng = spawn_rng(seed, "network")
+        self._seq = 0
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        self._links: Optional[set[tuple[int, int]]] = None
+        if links is not None:
+            self._links = set()
+            for i, j in links:
+                a, b = (i, j) if i < j else (j, i)
+                self._links.add((a, b))
+        # accounting
+        self.sent = 0
+        self.dropped = 0
+
+    def grow(self, new_n: int) -> None:
+        """Raise the node-id capacity (churn joins beyond the headroom)."""
+        if new_n < self.n:
+            raise ValueError(f"cannot shrink network from {self.n} to {new_n}")
+        self.n = new_n
+
+    def allows(self, i: int, j: int) -> bool:
+        """Whether a direct channel ``i -> j`` exists."""
+        if self._links is None:
+            return True
+        a, b = (i, j) if i < j else (j, i)
+        return (a, b) in self._links
+
+    def add_link(self, i: int, j: int) -> None:
+        """Add an undirected link (used by churn joins)."""
+        if self._links is not None:
+            a, b = (i, j) if i < j else (j, i)
+            self._links.add((a, b))
+
+    def remove_link(self, i: int, j: int) -> None:
+        """Remove an undirected link (used by churn leaves)."""
+        if self._links is not None:
+            a, b = (i, j) if i < j else (j, i)
+            self._links.discard((a, b))
+
+    def transmit(
+        self,
+        now: float,
+        src: int,
+        dst: int,
+        kind: str,
+        payload,
+        depth: int = 1,
+    ) -> Optional[tuple[float, Message]]:
+        """Admit a message to the network.
+
+        Returns ``(delivery_time, message)``, or ``None`` if the message
+        is dropped by the loss filter.  Raises if the link does not
+        exist.  ``depth`` is the causal depth stamped by the scheduler.
+        """
+        if src == dst:
+            raise ValueError(f"node {src} cannot send to itself")
+        if not self.allows(src, dst):
+            raise ValueError(f"no overlay link {src} -> {dst}; LID is local-only")
+        self._seq += 1
+        msg = Message(
+            src=src, dst=dst, kind=kind, payload=payload, seq=self._seq, depth=depth
+        )
+        self.sent += 1
+        if self.drop_filter is not None and self.drop_filter(msg, self._rng):
+            self.dropped += 1
+            return None
+        delay = self.latency(msg, self._rng)
+        if delay <= 0:
+            raise ValueError(f"latency model produced non-positive delay {delay}")
+        depart = now
+        if self.bandwidth is not None:
+            size = self.msg_size(msg) if callable(self.msg_size) else self.msg_size
+            chan = (src, dst)
+            start = max(now, self._busy_until.get(chan, now))
+            depart = start + size / self.bandwidth
+            self._busy_until[chan] = depart
+        t = depart + delay
+        if self.fifo:
+            chan = (src, dst)
+            prev = self._last_delivery.get(chan, -np.inf)
+            if t <= prev:
+                t = np.nextafter(prev, np.inf)
+            self._last_delivery[chan] = t
+        return t, msg
+
+
+def bernoulli_drop(p: float) -> DropFilter:
+    """Simple i.i.d. loss filter dropping each message w.p. ``p``."""
+    check_probability(p, "p")
+
+    def _filter(msg: Message, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < p)
+
+    return _filter

@@ -1,0 +1,87 @@
+"""Protocol-node base class.
+
+Concrete protocols (LID, the best-response baseline, test protocols)
+subclass :class:`ProtocolNode` and implement ``on_start`` /
+``on_message`` (and optionally ``on_timer``).  Nodes interact with the
+world only through ``self.send`` and ``self.set_timer`` — exactly the
+local-communication discipline the paper's algorithm assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distsim.scheduler import Simulator
+
+__all__ = ["ProtocolNode"]
+
+
+class ProtocolNode:
+    """Base class for simulated protocol participants.
+
+    Attributes
+    ----------
+    node_id:
+        This node's id, set at registration.
+    sim:
+        Back-reference to the :class:`~repro.distsim.scheduler.Simulator`.
+    terminated:
+        Set by the subclass (via :meth:`terminate`) when the node's
+        protocol role is complete.  A terminated node stops receiving
+        (late messages are counted, not delivered), matching the paper's
+        ``U_i = ∅`` exit condition.
+    crashed:
+        Set by failure injection; a crashed node neither sends nor
+        receives.
+    """
+
+    def __init__(self) -> None:
+        self.node_id: int = -1
+        self.sim: "Simulator | None" = None
+        self.terminated: bool = False
+        self.crashed: bool = False
+
+    # -- wiring --------------------------------------------------------
+
+    def _attach(self, node_id: int, sim: "Simulator") -> None:
+        self.node_id = node_id
+        self.sim = sim
+
+    # -- actions available to subclasses --------------------------------
+
+    def send(self, dst: int, kind: str, payload: Any = None) -> None:
+        """Send a message to a neighbour."""
+        assert self.sim is not None, "node not attached to a simulator"
+        if self.crashed:
+            return
+        self.sim._send(self.node_id, dst, kind, payload)
+
+    def set_timer(self, delay: float, tag: Any = None) -> None:
+        """Schedule :meth:`on_timer` after ``delay`` virtual time units."""
+        assert self.sim is not None, "node not attached to a simulator"
+        self.sim._set_timer(self.node_id, delay, tag)
+
+    def terminate(self) -> None:
+        """Mark this node's protocol role complete."""
+        if not self.terminated:
+            self.terminated = True
+            assert self.sim is not None
+            self.sim._note_termination(self.node_id)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        assert self.sim is not None
+        return self.sim.now
+
+    # -- protocol hooks (override in subclasses) ------------------------
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts (or the node joins)."""
+
+    def on_message(self, src: int, kind: str, payload: Any) -> None:
+        """Called for each delivered message."""
+
+    def on_timer(self, tag: Any) -> None:
+        """Called when a timer set via :meth:`set_timer` fires."""

@@ -1,0 +1,252 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine maintains a priority queue of :class:`~repro.distsim.events.Event`
+objects ordered by ``(time, insertion order)`` and processes them until
+quiescence (empty queue), a step budget, or a time horizon.  Protocol
+nodes are driven through their ``on_start`` / ``on_message`` /
+``on_timer`` hooks; every side effect (sending, timers) flows back
+through the simulator, which is how message metrics and traces are
+collected without any cooperation from protocol code.
+
+Design notes
+------------
+- *Determinism*: the only ordering authority is the event queue; equal
+  delivery times are resolved by the monotone insertion counter, so a
+  fixed seed reproduces the exact event sequence.
+- *Quiescence as termination*: protocols like LID terminate when no
+  messages are in flight and every node has exited its receive loop.
+  ``run()`` therefore runs the queue dry by default — mirroring the
+  paper's Lemma 5, which guarantees the queue *does* run dry.
+- *Safety valve*: ``max_events`` (default ``50 * n + 100`` per node
+  budgeting would be protocol-specific, so we default to a generous
+  global cap) aborts runs that exceed the budget, turning a would-be
+  hang into a test failure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.distsim.events import CONTROL, DELIVERY, TIMER, Event
+from repro.distsim.messages import Message
+from repro.distsim.metrics import SimMetrics
+from repro.distsim.network import Network
+from repro.distsim.node import ProtocolNode
+from repro.distsim.tracing import Trace
+from repro.utils.validation import ProtocolError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop binding nodes to a :class:`~repro.distsim.network.Network`.
+
+    Parameters
+    ----------
+    network:
+        The channel model (latency / FIFO / loss).
+    nodes:
+        The protocol nodes, indexed by node id.  ``len(nodes)`` must
+        equal ``network.n``.
+    trace:
+        Optional :class:`~repro.distsim.tracing.Trace` to record every
+        occurrence (costly; tests only).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        nodes: Sequence[ProtocolNode],
+        trace: Optional[Trace] = None,
+    ):
+        if len(nodes) > network.n:
+            raise ValueError(
+                f"got {len(nodes)} nodes for a network of size {network.n}"
+            )
+        # fewer nodes than network.n is allowed: the spare capacity is
+        # headroom for add_node (churn joins)
+        self.network = network
+        self.nodes: list[ProtocolNode] = list(nodes)
+        self.trace = trace
+        self.metrics = SimMetrics()
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._order = 0
+        self._ctx_depth = 0  # causal depth of the handler being executed
+        self._started = False
+        self._terminated_count = 0
+        self.late_messages = 0
+
+        for i, node in enumerate(self.nodes):
+            node._attach(i, self)
+
+    # ------------------------------------------------------------------
+    # internal API used by ProtocolNode
+    # ------------------------------------------------------------------
+
+    def _push(self, time: float, kind: str, node: int, data: Any) -> None:
+        self._order += 1
+        heapq.heappush(self._queue, Event(time, self._order, kind, node, data))
+
+    def _send(self, src: int, dst: int, kind: str, payload: Any) -> None:
+        if not (0 <= dst < len(self.nodes)):
+            raise ProtocolError(f"node {src} sent to unknown node {dst}")
+        self.metrics.sent_by_kind[kind] += 1
+        self.metrics.sent_by_node[src] += 1
+        if self.trace is not None:
+            self.trace.log(self.now, "send", src, dst, kind, payload)
+        result = self.network.transmit(
+            self.now, src, dst, kind, payload, depth=self._ctx_depth + 1
+        )
+        if result is None:
+            self.metrics.dropped += 1
+            if self.trace is not None:
+                self.trace.log(self.now, "drop", src, dst, kind, payload)
+            return
+        t, msg = result
+        self._push(t, DELIVERY, dst, msg)
+
+    def _set_timer(self, node: int, delay: float, tag: Any) -> None:
+        if delay <= 0:
+            raise ValueError(f"timer delay must be positive, got {delay}")
+        # timers propagate the causal depth of the handler that set them
+        self._push(self.now + delay, TIMER, node, (tag, self._ctx_depth))
+
+    def _note_termination(self, node: int) -> None:
+        self._terminated_count += 1
+        if self.trace is not None:
+            self.trace.log(self.now, "terminate", node)
+
+    # ------------------------------------------------------------------
+    # public control API
+    # ------------------------------------------------------------------
+
+    def schedule_control(self, time: float, fn: Callable[["Simulator"], None]) -> None:
+        """Run ``fn(sim)`` at virtual ``time`` (churn scripts, crash injection)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        self._push(time, CONTROL, -1, fn)
+
+    def add_node(self, node: ProtocolNode, start: bool = True) -> int:
+        """Register a new node mid-run (churn join).  Returns its id.
+
+        The caller must have grown the network first
+        (:class:`~repro.distsim.network.Network` link set / ``n``).
+        """
+        node_id = len(self.nodes)
+        self.nodes.append(node)
+        if self.network.n < len(self.nodes):
+            raise ValueError("grow network.n before adding nodes")
+        node._attach(node_id, self)
+        if start and self._started:
+            node.on_start()
+        return node_id
+
+    def start(self) -> None:
+        """Invoke ``on_start`` on every node (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes:
+            if not node.crashed:
+                node.on_start()
+
+    def step(self) -> bool:
+        """Process one event.  Returns ``False`` when the queue is empty."""
+        if not self._queue:
+            return False
+        ev = heapq.heappop(self._queue)
+        if ev.time < self.now:
+            raise ProtocolError("event queue time went backwards")
+        self.now = ev.time
+        self.metrics.events += 1
+        if ev.kind == CONTROL:
+            ev.data(self)
+            return True
+        node = self.nodes[ev.node]
+        if ev.kind == DELIVERY:
+            msg: Message = ev.data
+            if node.crashed or node.terminated:
+                # The receiver has left its receive loop; the message is
+                # discarded (see LID termination analysis: any such
+                # message crossed the receiver's final REJ broadcast).
+                self.late_messages += 1
+                return True
+            self.metrics.delivered_by_kind[msg.kind] += 1
+            self.metrics.received_by_node[ev.node] += 1
+            if msg.depth > self.metrics.max_depth:
+                self.metrics.max_depth = msg.depth
+            if self.trace is not None:
+                self.trace.log(self.now, "deliver", ev.node, msg.src, msg.kind, msg.payload)
+            self._ctx_depth = msg.depth
+            try:
+                node.on_message(msg.src, msg.kind, msg.payload)
+            finally:
+                self._ctx_depth = 0
+        elif ev.kind == TIMER:
+            if not (node.crashed or node.terminated):
+                tag, depth = ev.data
+                if self.trace is not None:
+                    self.trace.log(self.now, "timer", ev.node, -1, "", tag)
+                self._ctx_depth = depth
+                try:
+                    node.on_timer(tag)
+                finally:
+                    self._ctx_depth = 0
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown event kind {ev.kind!r}")
+        return True
+
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        max_time: Optional[float] = None,
+    ) -> SimMetrics:
+        """Start (if needed) and process events until quiescence.
+
+        Parameters
+        ----------
+        max_events:
+            Abort with :class:`ProtocolError` after this many events —
+            a hang detector.  Default: ``1000 + 200 * n + 20 * messages``
+            adaptively, which is far above LID's true bound.
+        max_time:
+            Stop (without error) once virtual time exceeds this horizon.
+        """
+        self.start()
+        if max_events is None:
+            max_events = 1000 + 500 * len(self.nodes) + 50 * self.network.sent
+        processed = 0
+        while self._queue:
+            if max_time is not None and self._queue[0].time > max_time:
+                break
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise ProtocolError(
+                    f"simulation exceeded {max_events} events without quiescing; "
+                    "likely a protocol bug (Lemma 5 guarantees termination)"
+                )
+        self.metrics.end_time = self.now
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def all_terminated(self) -> bool:
+        """Whether every non-crashed node has terminated."""
+        return all(n.terminated or n.crashed for n in self.nodes)
+
+    def pending_events(self) -> int:
+        """Number of queued events."""
+        return len(self._queue)
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node: it stops sending and receiving immediately."""
+        node = self.nodes[node_id]
+        node.crashed = True
+        if self.trace is not None:
+            self.trace.log(self.now, "crash", node_id)

@@ -1,0 +1,77 @@
+"""Structured execution traces for debugging and validation.
+
+A :class:`Trace` records every scheduler occurrence as a flat
+:class:`TraceRecord`.  Traces are opt-in (they cost memory proportional
+to the number of events) and are mainly used by tests that assert
+protocol-level properties — e.g. that LID only ever sends ``PROP``
+messages in decreasing weight order, or that no message follows a node's
+termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``what`` is one of ``"send"``, ``"deliver"``, ``"drop"``, ``"timer"``,
+    ``"terminate"``, ``"crash"``.
+    """
+
+    time: float
+    what: str
+    node: int
+    peer: int = -1
+    kind: str = ""
+    payload: Any = None
+
+
+class Trace:
+    """Append-only list of :class:`TraceRecord` with query helpers."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def log(
+        self,
+        time: float,
+        what: str,
+        node: int,
+        peer: int = -1,
+        kind: str = "",
+        payload: Any = None,
+    ) -> None:
+        """Append a record."""
+        self.records.append(TraceRecord(time, what, node, peer, kind, payload))
+
+    def filter(
+        self,
+        what: Optional[str] = None,
+        node: Optional[int] = None,
+        kind: Optional[str] = None,
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching all given criteria."""
+        for r in self.records:
+            if what is not None and r.what != what:
+                continue
+            if node is not None and r.node != node:
+                continue
+            if kind is not None and r.kind != kind:
+                continue
+            yield r
+
+    def sends_from(self, node: int, kind: Optional[str] = None) -> list[TraceRecord]:
+        """All send records originating at ``node`` in time order."""
+        return list(self.filter(what="send", node=node, kind=kind))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

@@ -1,0 +1,39 @@
+"""Experiment harness: instances, sweeps, ratios, reporting.
+
+The benchmark files under ``benchmarks/`` are thin: they time the
+algorithms with pytest-benchmark and delegate instance generation,
+metric computation and table printing to this package so results stay
+consistent between tests, benches and EXPERIMENTS.md.
+"""
+
+from repro.experiments.instances import (
+    FAMILIES,
+    cyclic_roommates,
+    family_instance,
+    random_preference_instance,
+    random_weighted_instance,
+    topology_for_family,
+)
+from repro.experiments.ratios import satisfaction_ratio_record, weight_ratio_record
+from repro.experiments.registry import EXPERIMENTS, Experiment, get_experiment
+from repro.experiments.reporting import format_table, print_table, write_csv
+from repro.experiments.runner import aggregate, sweep
+
+__all__ = [
+    "FAMILIES",
+    "cyclic_roommates",
+    "family_instance",
+    "random_preference_instance",
+    "random_weighted_instance",
+    "topology_for_family",
+    "satisfaction_ratio_record",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "weight_ratio_record",
+    "format_table",
+    "print_table",
+    "write_csv",
+    "aggregate",
+    "sweep",
+]

@@ -1,0 +1,258 @@
+"""Command-line interface: run scenarios and experiments without code.
+
+Entry point (installed via ``python -m repro``):
+
+- ``python -m repro scenario file_sharing --n 80``  — build a scenario,
+  run LID, print matching statistics;
+- ``python -m repro compare geo_latency --n 40``    — satisfaction
+  comparison of LID vs baselines vs OPT on one scenario;
+- ``python -m repro experiment t1|t2|t4|f4|f6``     — quick versions of
+  the named experiments (full versions live in ``benchmarks/``);
+- ``python -m repro discover --n 60``               — gossip discovery →
+  ranking → LID, end to end;
+- ``python -m repro churn --n 50 --events 20``      — a churn session
+  with exact incremental repair;
+- ``python -m repro list``                          — the experiment
+  inventory (ids, claims, bench files).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    best_response_dynamics,
+    max_satisfaction_bmatching_milp,
+    random_bmatching,
+)
+from repro.core import solve_lid
+from repro.experiments.instances import (
+    FAMILIES,
+    cyclic_roommates,
+    family_instance,
+    random_preference_instance,
+)
+from repro.experiments.ratios import satisfaction_ratio_record, weight_ratio_record
+from repro.experiments.reporting import print_table
+from repro.overlay import SCENARIOS, DynamicOverlay, Peer, build_scenario
+from repro.utils.rng import spawn_rng
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_scenario(args) -> int:
+    sc = build_scenario(args.name, args.n, seed=args.seed)
+    result, _ = solve_lid(sc.ps)
+    m = result.matching
+    v = m.satisfaction_vector(sc.ps)
+    print(f"scenario={sc.name} n={sc.ps.n} m={sc.ps.m} b_max={sc.ps.b_max}")
+    print(f"matched edges: {m.size()}")
+    print(f"total satisfaction: {v.sum():.3f}  mean {v.mean():.3f}"
+          f"  median {np.median(v):.3f}  min {v.min():.3f}")
+    print(f"messages: {result.prop_messages} PROP + {result.rej_messages} REJ"
+          f" in {result.rounds:.0f} rounds")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    sc = build_scenario(args.name, args.n, seed=args.seed)
+    ps = sc.ps
+    rows = []
+
+    def add(label, matching):
+        v = matching.satisfaction_vector(ps)
+        rows.append(
+            {"algorithm": label, "total": float(v.sum()),
+             "mean": float(v.mean()), "min": float(v.min())}
+        )
+
+    lid, _ = solve_lid(ps)
+    add("LID", lid.matching)
+    add("random", random_bmatching(ps, spawn_rng(args.seed, "cli-random")))
+    br = best_response_dynamics(ps, max_steps=4000)
+    add("best-response" + ("" if br.converged else "*"), br.matching)
+    if args.exact:
+        add("OPT", max_satisfaction_bmatching_milp(ps))
+    print_table(rows, title=f"satisfaction comparison — {sc.name}, n={ps.n}"
+                            " (* = oscillating snapshot)")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.id == "t1":
+        rows = []
+        for family in FAMILIES:
+            ps = family_instance(family, args.n, 3, seed=args.seed)
+            from repro.core.weights import satisfaction_weights
+
+            rec = weight_ratio_record(satisfaction_weights(ps), list(ps.quotas))
+            rows.append({"family": family, **rec})
+        print_table(
+            rows,
+            ["family", "m", "ratio", "bound", "bound_ok", "lid_equals_lic"],
+            title="T1 (quick) — weight ratio vs exact optimum",
+        )
+    elif args.id == "t2":
+        rows = []
+        for b in (1, 2, 4):
+            ps = random_preference_instance(args.n, 0.3, b, seed=args.seed)
+            rows.append({"b": b, **satisfaction_ratio_record(ps)})
+        print_table(
+            rows,
+            ["b", "n", "m", "lid_sat", "opt_sat", "ratio", "bound", "bound_ok"],
+            title="T2 (quick) — satisfaction ratio vs exact optimum",
+        )
+    elif args.id == "t4":
+        from repro.core.lid import run_lid
+        from repro.core.weights import satisfaction_weights
+
+        rows = []
+        for n in (50, 100, 200):
+            ps = random_preference_instance(n, min(0.3, 12.0 / n), 3, seed=args.seed)
+            res = run_lid(satisfaction_weights(ps), ps.quotas)
+            rows.append(
+                {"n": n, "m": ps.m, "messages": res.metrics.total_sent,
+                 "rounds": res.rounds,
+                 "per_edge": res.metrics.total_sent / max(ps.m, 1)}
+            )
+        print_table(rows, title="T4 (quick) — message complexity")
+    elif args.id == "f6":
+        import numpy as np
+        from repro.core.mixed import run_mixed_adoption
+        from repro.core.weights import satisfaction_weights
+
+        ps = random_preference_instance(args.n, 0.3, 3, seed=args.seed)
+        wt = satisfaction_weights(ps)
+        rows = []
+        for f in (1.0, 0.75, 0.5):
+            rng = spawn_rng(args.seed, "cli-f6", str(f))
+            k = int(round(f * ps.n))
+            adopters = {int(x) for x in rng.choice(ps.n, size=k, replace=False)}
+            res = run_mixed_adoption(wt, ps.quotas, adopters=adopters,
+                                     legacy_seed=args.seed)
+            v = res.matching.satisfaction_vector(ps)
+            rows.append({
+                "adoption": f,
+                "stalled": res.deadlocked,
+                "adopter_sat": float(np.mean([v[i] for i in adopters]))
+                if adopters else float("nan"),
+            })
+        print_table(rows, title="F6 (quick) — partial adoption")
+    elif args.id == "f4":
+        rows = []
+        for k in (3, 5, 9):
+            ps = cyclic_roommates(k)
+            br = best_response_dynamics(ps)
+            lid, _ = solve_lid(ps)
+            rows.append(
+                {"instance": f"odd-ring k={k}", "br_cycles": br.cycled,
+                 "lid_rounds": lid.rounds, "lid_matched": lid.matching.size()}
+            )
+        print_table(rows, title="F4 (quick) — cyclic preferences")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {args.id}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    rows = [
+        {"id": e.id, "claim": e.claim, "anchor": e.anchor, "bench": e.bench}
+        for e in EXPERIMENTS
+    ]
+    print_table(rows, title="experiment inventory (full runs: pytest benchmarks/)")
+    return 0
+
+
+def _cmd_discover(args) -> int:
+    from repro.overlay import build_preference_system, discover_knowledge_graph
+    from repro.overlay.metrics import PrivateTasteMetric
+    from repro.overlay.peer import generate_peers
+
+    res = discover_knowledge_graph(args.n, rounds=args.rounds, seed=args.seed)
+    peers = generate_peers(args.n, spawn_rng(args.seed, "cli-discover"))
+    ps = build_preference_system(res.topology, peers, PrivateTasteMetric(seed=args.seed))
+    result, _ = solve_lid(ps)
+    print(f"discovery: {res.messages} gossip msgs,"
+          f" mean knowledge {res.mean_knowledge:.1f} peers")
+    print(f"matching: {result.matching.size()} connections,"
+          f" satisfaction {result.matching.total_satisfaction(ps):.2f},"
+          f" {result.metrics.total_sent} protocol msgs")
+    return 0
+
+
+def _cmd_churn(args) -> int:
+    sc = build_scenario("geo_latency", args.n, seed=args.seed)
+    overlay = DynamicOverlay(sc.topology, sc.peers, sc.metric)
+    rng = spawn_rng(args.seed, "cli-churn")
+    changes = 0
+    for _ in range(args.events):
+        if rng.random() < 0.5 and overlay.n > max(10, args.n // 3):
+            stats = overlay.leave(int(rng.choice(overlay.active_ids())))
+        else:
+            ids = overlay.active_ids()
+            k = min(int(rng.integers(2, 6)), len(ids))
+            neigh = [int(x) for x in rng.choice(ids, size=k, replace=False)]
+            _, stats = overlay.join(
+                Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=3), neigh
+            )
+        changes += stats.resolutions
+    print(f"{args.events} churn events -> {overlay.n} peers alive,"
+          f" {changes} connection changes,"
+          f" satisfaction {overlay.total_satisfaction():.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Overlays with preferences (IPDPS 2010) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("scenario", help="run LID on a named scenario")
+    p.add_argument("name", choices=sorted(SCENARIOS))
+    p.add_argument("--n", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_scenario)
+
+    p = sub.add_parser("compare", help="compare algorithms on a scenario")
+    p.add_argument("name", choices=sorted(SCENARIOS))
+    p.add_argument("--n", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--exact", action="store_true", help="also solve the MILP optimum")
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("experiment", help="quick version of a named experiment")
+    p.add_argument("id", choices=["t1", "t2", "t4", "f4", "f6"])
+    p.add_argument("--n", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("list", help="list the experiment inventory")
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("discover", help="gossip discovery -> ranking -> LID pipeline")
+    p.add_argument("--n", type=int, default=60)
+    p.add_argument("--rounds", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_discover)
+
+    p = sub.add_parser("churn", help="churn session with incremental repair")
+    p.add_argument("--n", type=int, default=50)
+    p.add_argument("--events", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_churn)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,75 @@
+"""Ratio computations shared by the T1/T2/F3 experiments."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.exact import (
+    max_satisfaction_bmatching_milp,
+    max_weight_bmatching_milp,
+)
+from repro.core.analysis import (
+    approximation_ratio,
+    greedy_certificate,
+    theorem2_bound,
+    theorem3_bound,
+)
+from repro.core.lic import lic_matching
+from repro.core.lid import run_lid
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable, satisfaction_weights
+
+__all__ = ["weight_ratio_record", "satisfaction_ratio_record"]
+
+
+def weight_ratio_record(
+    wt: WeightTable, quotas: Sequence[int], run_distributed: bool = True
+) -> dict:
+    """Measure LIC (and optionally LID) weight against the exact optimum.
+
+    Returns a flat record with the ratio, the Theorem-2 bound, and the
+    certificate / bound-respected flags the T1 table reports.
+    """
+    lic = lic_matching(wt, quotas)
+    w_lic = lic.total_weight(wt)
+    opt = max_weight_bmatching_milp(wt, quotas)
+    w_opt = opt.total_weight(wt)
+    record = {
+        "m": wt.m,
+        "lic_weight": w_lic,
+        "opt_weight": w_opt,
+        "ratio": approximation_ratio(w_lic, w_opt),
+        "bound": theorem2_bound(),
+        "bound_ok": w_lic >= theorem2_bound() * w_opt - 1e-9,
+        "certificate": greedy_certificate(wt, list(quotas), lic),
+    }
+    if run_distributed:
+        lid = run_lid(wt, list(quotas))
+        record["lid_equals_lic"] = lid.matching.edge_set() == lic.edge_set()
+        record["messages"] = lid.metrics.total_sent
+    return record
+
+
+def satisfaction_ratio_record(ps: PreferenceSystem) -> dict:
+    """Measure LID satisfaction against the exact eq.-1 optimum.
+
+    The T2 table: LID's total satisfaction, the exact optimum (MILP with
+    the linearised dynamic term), their ratio and the Theorem-3 bound
+    ``¼(1 + 1/b_max)``.
+    """
+    wt = satisfaction_weights(ps)
+    lid = run_lid(wt, ps.quotas)
+    s_lid = lid.matching.total_satisfaction(ps)
+    opt = max_satisfaction_bmatching_milp(ps)
+    s_opt = opt.total_satisfaction(ps)
+    bound = theorem3_bound(ps.b_max)
+    return {
+        "n": ps.n,
+        "m": ps.m,
+        "b_max": ps.b_max,
+        "lid_sat": s_lid,
+        "opt_sat": s_opt,
+        "ratio": approximation_ratio(s_lid, s_opt),
+        "bound": bound,
+        "bound_ok": s_lid >= bound * s_opt - 1e-9,
+    }

@@ -1,0 +1,85 @@
+"""Overlay-network substrate: peers, metrics, topologies, churn.
+
+- :mod:`repro.overlay.peer` — peer attribute model,
+- :mod:`repro.overlay.metrics` — private suitability metrics (§1),
+- :mod:`repro.overlay.topology` — overlay graph generators,
+- :mod:`repro.overlay.builder` — scenario → PreferenceSystem,
+- :mod:`repro.overlay.churn` — dynamic joins/leaves with exact
+  incremental repair (future work §7),
+- :mod:`repro.overlay.scenario` — named end-to-end set-ups.
+"""
+
+from repro.overlay.analysis import (
+    OverlayStructure,
+    analyze_overlay,
+    average_path_length,
+    clustering_coefficient,
+    connected_components,
+    matching_adjacency,
+)
+from repro.overlay.builder import build_preference_system
+from repro.overlay.churn import DynamicOverlay, RepairStats, greedy_repair
+from repro.overlay.discovery import (
+    DiscoveryResult,
+    GossipNode,
+    discover_knowledge_graph,
+)
+from repro.overlay.metrics import (
+    BandwidthMetric,
+    CompositeMetric,
+    DistanceMetric,
+    InterestMetric,
+    MetricAssignment,
+    PrivateTasteMetric,
+    ReliabilityMetric,
+    SuitabilityMetric,
+)
+from repro.overlay.peer import Peer, generate_peers
+from repro.overlay.scenario import SCENARIOS, Scenario, build_scenario
+from repro.overlay.topology import (
+    Topology,
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    grid_2d,
+    random_geometric,
+    random_regular,
+    watts_strogatz,
+)
+
+__all__ = [
+    "build_preference_system",
+    "OverlayStructure",
+    "analyze_overlay",
+    "average_path_length",
+    "clustering_coefficient",
+    "connected_components",
+    "matching_adjacency",
+    "DynamicOverlay",
+    "DiscoveryResult",
+    "GossipNode",
+    "discover_knowledge_graph",
+    "RepairStats",
+    "greedy_repair",
+    "Peer",
+    "generate_peers",
+    "SuitabilityMetric",
+    "DistanceMetric",
+    "InterestMetric",
+    "BandwidthMetric",
+    "ReliabilityMetric",
+    "CompositeMetric",
+    "PrivateTasteMetric",
+    "MetricAssignment",
+    "Topology",
+    "erdos_renyi",
+    "random_geometric",
+    "barabasi_albert",
+    "watts_strogatz",
+    "random_regular",
+    "grid_2d",
+    "complete_graph",
+    "Scenario",
+    "SCENARIOS",
+    "build_scenario",
+]

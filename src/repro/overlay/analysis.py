@@ -1,0 +1,196 @@
+"""Structural analysis of (matched) overlays.
+
+The paper motivates preference-aware matching as an *overlay
+construction* mechanism; besides satisfaction, a constructed overlay is
+judged by its graph structure — is it connected, clustered, short-
+diameter?  This module measures those properties for any adjacency
+(potential overlay, matched overlay, or baseline output), with every
+metric implemented directly (BFS and triangle counting) and
+cross-checked against networkx in the tests.
+
+Used by ``bench_f5_overlay_structure.py`` to compare the LID overlay
+against the random-matching control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+
+__all__ = [
+    "connected_components",
+    "largest_component_fraction",
+    "clustering_coefficient",
+    "average_path_length",
+    "degree_stats",
+    "OverlayStructure",
+    "analyze_overlay",
+    "matching_adjacency",
+]
+
+Adjacency = Sequence[Sequence[int]]
+
+
+def matching_adjacency(matching: Matching) -> list[list[int]]:
+    """Adjacency lists of the matched overlay."""
+    return [sorted(matching.connections(i)) for i in range(matching.n)]
+
+
+def connected_components(adj: Adjacency) -> list[list[int]]:
+    """Connected components via BFS, each sorted, largest first."""
+    n = len(adj)
+    seen = [False] * n
+    comps: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        comp = []
+        queue = deque([start])
+        seen[start] = True
+        while queue:
+            v = queue.popleft()
+            comp.append(v)
+            for u in adj[v]:
+                if not seen[u]:
+                    seen[u] = True
+                    queue.append(u)
+        comps.append(sorted(comp))
+    comps.sort(key=len, reverse=True)
+    return comps
+
+
+def largest_component_fraction(adj: Adjacency) -> float:
+    """|largest component| / n — the connectivity figure of merit."""
+    comps = connected_components(adj)
+    return len(comps[0]) / len(adj) if comps else 0.0
+
+
+def clustering_coefficient(adj: Adjacency) -> float:
+    """Mean local clustering coefficient (nodes of degree < 2 score 0)."""
+    n = len(adj)
+    if n == 0:
+        return 0.0
+    sets = [set(a) for a in adj]
+    total = 0.0
+    for v in range(n):
+        k = len(sets[v])
+        if k < 2:
+            continue
+        links = 0
+        neigh = sorted(sets[v])
+        for idx, u in enumerate(neigh):
+            for w in neigh[idx + 1 :]:
+                if w in sets[u]:
+                    links += 1
+        total += 2.0 * links / (k * (k - 1))
+    return total / n
+
+
+def _bfs_distances(adj: Adjacency, source: int) -> list[int]:
+    dist = [-1] * len(adj)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in adj[v]:
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def average_path_length(
+    adj: Adjacency,
+    sample: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Mean shortest-path length within the largest component.
+
+    Exact when ``sample`` is ``None``; otherwise BFS from ``sample``
+    random sources (unbiased estimator of the same mean).  Returns 0.0
+    for components of a single node.
+    """
+    comp = connected_components(adj)[0] if adj else []
+    if len(comp) < 2:
+        return 0.0
+    members = set(comp)
+    if sample is not None and sample < len(comp):
+        if rng is None:
+            rng = np.random.default_rng(0)
+        sources = [int(x) for x in rng.choice(comp, size=sample, replace=False)]
+    else:
+        sources = comp
+    total = 0
+    pairs = 0
+    for s in sources:
+        dist = _bfs_distances(adj, s)
+        for v in comp:
+            if v != s and dist[v] > 0:
+                total += dist[v]
+                pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+def degree_stats(adj: Adjacency) -> dict:
+    """Degree summary: mean / max / fraction of isolated nodes."""
+    degrees = np.array([len(a) for a in adj], dtype=float)
+    if degrees.size == 0:
+        return {"mean": 0.0, "max": 0, "isolated_frac": 0.0}
+    return {
+        "mean": float(degrees.mean()),
+        "max": int(degrees.max()),
+        "isolated_frac": float((degrees == 0).mean()),
+    }
+
+
+@dataclass
+class OverlayStructure:
+    """Structural fingerprint of one overlay."""
+
+    n: int
+    edges: int
+    mean_degree: float
+    isolated_frac: float
+    largest_component_frac: float
+    components: int
+    clustering: float
+    avg_path_length: float
+
+    def as_row(self) -> dict:
+        """Flat dict for the reporting tables."""
+        return {
+            "n": self.n,
+            "edges": self.edges,
+            "mean_deg": self.mean_degree,
+            "isolated": self.isolated_frac,
+            "lcc_frac": self.largest_component_frac,
+            "components": self.components,
+            "clustering": self.clustering,
+            "avg_path": self.avg_path_length,
+        }
+
+
+def analyze_overlay(
+    adj: Adjacency,
+    path_sample: Optional[int] = 32,
+    rng: Optional[np.random.Generator] = None,
+) -> OverlayStructure:
+    """Compute the full structural fingerprint of an overlay."""
+    comps = connected_components(adj)
+    stats = degree_stats(adj)
+    return OverlayStructure(
+        n=len(adj),
+        edges=sum(len(a) for a in adj) // 2,
+        mean_degree=stats["mean"],
+        isolated_frac=stats["isolated_frac"],
+        largest_component_frac=len(comps[0]) / len(adj) if comps else 0.0,
+        components=len(comps),
+        clustering=clustering_coefficient(adj),
+        avg_path_length=average_path_length(adj, sample=path_sample, rng=rng),
+    )

@@ -1,0 +1,87 @@
+"""OverlayBuilder: peers + topology + metrics → PreferenceSystem.
+
+The glue of the overlay substrate: every node ranks its topology
+neighbourhood with *its own* suitability metric (ties broken by peer
+id), and the per-peer quotas become the b-matching quotas.  The output
+:class:`~repro.core.preferences.PreferenceSystem` is what all matching
+algorithms consume — at that point the metrics themselves are forgotten,
+matching the paper's privacy stance (peers disclose ``ΔS̄`` values, not
+metrics).
+
+Node ``i`` of the instance corresponds to ``peers[i]``; the peers'
+``peer_id`` attributes may differ from their index (they are *external*
+ids, stable under churn) — metrics and tie-breaking always use the
+external id, so a peer's preferences do not change when unrelated peers
+join or leave.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.preferences import PreferenceSystem
+from repro.overlay.metrics import MetricAssignment, SuitabilityMetric
+from repro.overlay.peer import Peer
+from repro.overlay.topology import Topology
+from repro.utils.validation import InvalidInstanceError
+
+__all__ = ["build_preference_system"]
+
+
+def build_preference_system(
+    topology: Topology,
+    peers: Sequence[Peer],
+    metric: SuitabilityMetric | MetricAssignment,
+    quotas: Optional[Sequence[int]] = None,
+    sync_positions: bool = True,
+) -> PreferenceSystem:
+    """Construct the matching instance for an overlay scenario.
+
+    Parameters
+    ----------
+    topology:
+        The potential-connection graph; node ``i`` corresponds to
+        ``peers[i]``.
+    peers:
+        Peer objects supplying the attributes metrics read.  Their
+        ``peer_id`` fields need not equal their index but must be
+        distinct (they seed private metrics and break score ties).
+    metric:
+        A single metric applied by every peer, or a
+        :class:`~repro.overlay.metrics.MetricAssignment` giving each
+        peer its private metric (keyed by external ``peer_id``).
+    quotas:
+        Optional explicit quotas; defaults to each peer's ``quota``
+        attribute.
+    sync_positions:
+        When the topology carries positions (geometric families), copy
+        them onto the peers so distance metrics see the coordinates the
+        graph was built from.
+    """
+    if len(peers) != topology.n:
+        raise InvalidInstanceError(
+            f"{len(peers)} peers for a topology of {topology.n} nodes"
+        )
+    if len({p.peer_id for p in peers}) != len(peers):
+        raise InvalidInstanceError("peer ids must be distinct")
+    if sync_positions and topology.positions is not None:
+        for i, peer in enumerate(peers):
+            peer.position = topology.positions[i]
+
+    if isinstance(metric, MetricAssignment):
+        def score(i: int, j: int) -> float:
+            return metric.score(peers[i], peers[j])
+    else:
+        def score(i: int, j: int) -> float:
+            return metric(peers[i], peers[j])
+
+    rankings = {
+        i: sorted(
+            topology.adjacency[i],
+            key=lambda j: (-score(i, j), peers[j].peer_id),
+        )
+        for i in range(topology.n)
+    }
+    if quotas is None:
+        quotas = [p.quota for p in peers]
+    return PreferenceSystem(rankings, list(quotas))

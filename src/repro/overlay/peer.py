@@ -1,0 +1,88 @@
+"""Peer model — the entities of the overlay scenarios (§1 of the paper).
+
+The paper motivates preferences by "the node's distance, interests,
+recommendations, transaction history or available resources".
+:class:`Peer` carries exactly these attributes; suitability metrics
+(:mod:`repro.overlay.metrics`) map pairs of peers to scores, and the
+builder turns scores into preference lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Peer", "generate_peers"]
+
+
+@dataclass
+class Peer:
+    """One overlay participant.
+
+    Attributes
+    ----------
+    peer_id:
+        Stable identifier (also the node id in static scenarios).
+    position:
+        Coordinates in the unit square (network locality proxy).
+    interests:
+        Non-negative interest/topic vector (content affinity proxy).
+    bandwidth:
+        Upload capacity in arbitrary units (resource proxy).
+    reliability:
+        Historic uptime fraction in [0, 1] (transaction-history proxy).
+    quota:
+        Connection quota ``b_i`` this peer is willing to maintain.
+    """
+
+    peer_id: int
+    position: np.ndarray = field(default_factory=lambda: np.zeros(2))
+    interests: np.ndarray = field(default_factory=lambda: np.zeros(4))
+    bandwidth: float = 1.0
+    reliability: float = 1.0
+    quota: int = 3
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+        self.interests = np.asarray(self.interests, dtype=float)
+        if self.quota < 1:
+            raise ValueError(f"peer quota must be >= 1, got {self.quota}")
+
+
+def generate_peers(
+    n: int,
+    rng: np.random.Generator,
+    interest_dims: int = 8,
+    quota_range: tuple[int, int] = (2, 5),
+    bandwidth_pareto: float = 1.5,
+) -> list[Peer]:
+    """Sample a heterogeneous peer population.
+
+    - positions uniform in the unit square,
+    - interests: sparse Dirichlet-ish topic vectors (each peer cares
+      about a few topics),
+    - bandwidth: Pareto-distributed (the classic heavy-tailed capacity
+      distribution observed in P2P measurement studies),
+    - reliability: Beta(5, 2) — mostly reliable with a flaky tail,
+    - quotas uniform in ``quota_range`` (heterogeneous budgets).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    lo, hi = quota_range
+    if not (1 <= lo <= hi):
+        raise ValueError(f"invalid quota_range {quota_range}")
+    peers = []
+    for i in range(n):
+        raw = rng.dirichlet(np.full(interest_dims, 0.3))
+        peers.append(
+            Peer(
+                peer_id=i,
+                position=rng.uniform(0.0, 1.0, size=2),
+                interests=raw,
+                bandwidth=float((1.0 + rng.pareto(bandwidth_pareto))),
+                reliability=float(rng.beta(5.0, 2.0)),
+                quota=int(rng.integers(lo, hi + 1)),
+            )
+        )
+    return peers

@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG management and argument validation."""
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.validation import (
+    ReproError,
+    InvalidInstanceError,
+    InvalidMatchingError,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidMatchingError",
+    "check_positive_int",
+    "check_probability",
+]

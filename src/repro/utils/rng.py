@@ -1,0 +1,88 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (topology generators, latency
+models, failure injectors, baseline algorithms) draws randomness from a
+:class:`numpy.random.Generator`.  To keep whole experiments reproducible
+from a single root seed while still giving each logical component an
+independent stream, we spawn child generators from a root
+``numpy.random.SeedSequence`` keyed by a stable string label.
+
+This mirrors the recommended scientific-Python practice of passing
+``default_rng`` instances explicitly instead of touching global state.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["spawn_rng", "RngFactory"]
+
+
+def _label_to_key(label: str) -> int:
+    """Map a string label to a stable 32-bit integer key.
+
+    ``zlib.crc32`` is used (rather than ``hash``) because it is stable
+    across processes and Python versions, which matters for
+    reproducibility of distributed-simulation runs.
+    """
+    return zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
+
+
+def spawn_rng(seed: int | None, *labels: str) -> np.random.Generator:
+    """Create a generator for ``labels`` derived from a root ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the experiment.  ``None`` yields OS entropy (only
+        appropriate in throwaway interactive use).
+    labels:
+        A path of string labels identifying the component, e.g.
+        ``("topology", "node-17")``.  Different label paths yield
+        statistically independent streams for the same root seed.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    keys = [_label_to_key(label) for label in labels]
+    return np.random.default_rng(np.random.SeedSequence([seed, *keys]))
+
+
+class RngFactory:
+    """Factory bound to a root seed, spawning labelled sub-generators.
+
+    Examples
+    --------
+    >>> f = RngFactory(1234)
+    >>> topo_rng = f.make("topology")
+    >>> node_rng = f.make("node", "17")
+    >>> f2 = RngFactory(1234)
+    >>> bool((f2.make("topology").random(4) == topo_rng.random(0)).all())
+    True
+    """
+
+    def __init__(self, seed: int | None):
+        self.seed = seed
+
+    def make(self, *labels: str) -> np.random.Generator:
+        """Spawn a generator for the given label path."""
+        return spawn_rng(self.seed, *labels)
+
+    def make_many(self, prefix: str, names: Iterable[str]) -> dict[str, np.random.Generator]:
+        """Spawn one generator per name under a common prefix."""
+        return {name: self.make(prefix, name) for name in names}
+
+    def child(self, label: str) -> "RngFactory":
+        """Derive a child factory with an independent root.
+
+        Useful when a sub-component itself needs to hand out labelled
+        streams without risking collisions with its parent's labels.
+        """
+        if self.seed is None:
+            return RngFactory(None)
+        return RngFactory((self.seed * 1_000_003 + _label_to_key(label)) % (2**63))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RngFactory(seed={self.seed!r})"

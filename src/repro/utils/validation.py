@@ -1,0 +1,57 @@
+"""Error types and small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidMatchingError",
+    "ProtocolError",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_probability",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class InvalidInstanceError(ReproError):
+    """A problem instance (graph / preferences / quotas) is inconsistent."""
+
+
+class InvalidMatchingError(ReproError):
+    """A matching violates feasibility (quota or edge-set constraints)."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an inconsistent state.
+
+    Raised by the LID state machine when an invariant that the paper's
+    lemmas guarantee is violated at runtime -- this should never happen
+    and indicates an implementation bug, so it is surfaced loudly rather
+    than swallowed.
+    """
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive ``int``; raise otherwise."""
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a non-negative ``int``; raise otherwise."""
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in ``[0, 1]``; raise otherwise."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value

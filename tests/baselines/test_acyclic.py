@@ -1,0 +1,93 @@
+"""Tests for best-response b-matching dynamics (Gai et al. baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.acyclic import best_response_dynamics
+from repro.baselines.verify import is_stable
+from repro.core.lic import solve_modified_bmatching
+from repro.core.preferences import PreferenceSystem
+from repro.experiments.instances import cyclic_roommates
+
+from tests.conftest import preference_systems, random_ps
+
+
+class TestConvergence:
+    def test_converges_on_mutual_tops(self):
+        ps = PreferenceSystem({0: [1, 2], 1: [0, 2], 2: [0, 1]}, 1)
+        res = best_response_dynamics(ps)
+        assert res.converged
+        assert is_stable(ps, res.matching)
+        assert res.matching.edge_set() == {(0, 1)}
+
+    def test_oscillates_on_rotating_triangle(self, triangle_ps):
+        res = best_response_dynamics(triangle_ps)
+        assert not res.converged
+        assert res.cycled
+
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_oscillates_on_odd_rings(self, k):
+        res = best_response_dynamics(cyclic_roommates(k))
+        assert not res.converged and res.cycled
+
+    def test_even_ring_converges(self):
+        res = best_response_dynamics(cyclic_roommates(6))
+        assert res.converged
+
+    @settings(max_examples=25, deadline=None)
+    @given(preference_systems(max_n=7))
+    def test_converged_outputs_are_certified_stable(self, ps):
+        res = best_response_dynamics(ps, max_steps=3000)
+        if res.converged:
+            assert is_stable(ps, res.matching)
+        res.matching.validate(ps)  # feasible even when oscillating
+
+    def test_weight_list_preferences_always_converge(self):
+        """Preferences induced by symmetric weights are acyclic, so
+        best-response must stabilise — and to the LIC matching (the
+        unique stable state), the uniqueness the churn repair rests on."""
+        for seed in range(5):
+            ps = random_ps(12, 0.4, 2, seed=seed, ensure_edges=True)
+            lic, wt = solve_modified_bmatching(ps)
+            # rebuild a preference system ranked by the eq.-9 weights
+            ranked = PreferenceSystem.from_scores(
+                {i: list(wt.neighbors(i)) for i in range(ps.n)},
+                lambda i, j: wt.weight(i, j) + 1e-9 * (min(i, j) * ps.n + max(i, j)),
+                list(ps.quotas),
+            )
+            res = best_response_dynamics(ranked, max_steps=20_000)
+            assert res.converged
+            assert res.matching.edge_set() == lic.edge_set()
+
+
+class TestRules:
+    def test_rules_all_reach_stability_when_acyclic(self):
+        ps = PreferenceSystem(
+            {0: [1, 2, 3], 1: [0, 2], 2: [0, 1, 3], 3: [0, 2]},
+            {0: 2, 1: 1, 2: 2, 3: 1},
+        )
+        rng = np.random.default_rng(0)
+        for rule in ("first", "best", "random"):
+            res = best_response_dynamics(ps, rule=rule, rng=rng, max_steps=5000)
+            if res.converged:
+                assert is_stable(ps, res.matching)
+
+    def test_random_rule_requires_rng(self, small_ps):
+        with pytest.raises(ValueError, match="rng"):
+            best_response_dynamics(small_ps, rule="random")
+
+    def test_budget_exhaustion_reports_not_converged(self, triangle_ps):
+        res = best_response_dynamics(
+            triangle_ps, max_steps=2, detect_cycles=False
+        )
+        assert not res.converged and not res.cycled
+        assert res.steps == 2
+
+    def test_initial_matching_respected(self, small_ps):
+        from repro.core.matching import Matching
+
+        init = Matching(5, [(0, 1)])
+        res = best_response_dynamics(small_ps, initial=init)
+        assert res.converged
+        assert is_stable(small_ps, res.matching)

@@ -1,0 +1,114 @@
+"""Tests for the from-scratch blossom maximum-weight matching."""
+
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.blossom import blossom_mwm, max_weight_matching_blossom
+from repro.baselines.exact import brute_force_bmatching
+from repro.core.weights import WeightTable
+
+from tests.conftest import weighted_instances
+
+
+class TestBasics:
+    def test_empty(self):
+        assert blossom_mwm([], 3) == [-1, -1, -1]
+
+    def test_single_edge(self):
+        assert blossom_mwm([(0, 1, 2.0)], 2) == [1, 0]
+
+    def test_path_prefers_outer_edges(self):
+        mate = blossom_mwm([(0, 1, 2.0), (1, 2, 3.0), (2, 3, 2.0)], 4)
+        assert mate == [1, 0, 3, 2]  # 2+2 beats 3
+
+    def test_triangle(self):
+        mate = blossom_mwm([(0, 1, 5.0), (1, 2, 4.0), (0, 2, 3.0)], 3)
+        assert mate[0] == 1 and mate[1] == 0 and mate[2] == -1
+
+    def test_blossom_formation_pentagon(self):
+        # odd cycle with a pendant: forces blossom shrink + expand
+        edges = [
+            (0, 1, 8.0), (1, 2, 9.0), (2, 3, 8.0), (3, 4, 9.0), (4, 0, 8.0),
+            (4, 5, 6.0),
+        ]
+        mate = blossom_mwm(edges, 6)
+        total = sum(
+            w for (i, j, w) in edges if mate[i] == j
+        )
+        # optimum: (1,2) + (3,4)?? check against brute force below;
+        # here just sanity: perfect-on-5-plus-pendant impossible, 3 pairs
+        assert sum(1 for v in mate if v >= 0) in (4, 6)
+
+    def test_zero_weight_rejected_negative(self):
+        with pytest.raises(ValueError):
+            blossom_mwm([(0, 1, -1.0)], 2)
+        with pytest.raises(ValueError):
+            blossom_mwm([(0, 0, 1.0)], 2)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_instances(max_n=7))
+    def test_matches_brute_force(self, inst):
+        wt, _ = inst
+        if wt.m > 12:
+            return
+        ours = max_weight_matching_blossom(wt).total_weight(wt)
+        _, bf = brute_force_bmatching(wt, [1] * wt.n, max_edges=12)
+        assert ours == pytest.approx(bf)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 40))
+        p = float(rng.uniform(0.1, 0.7))
+        weights = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < p:
+                    weights[(i, j)] = float(rng.uniform(0.1, 10.0))
+        if not weights:
+            return
+        wt = WeightTable(weights, n)
+        ours = max_weight_matching_blossom(wt)
+        G = nx.Graph()
+        for (i, j), w in weights.items():
+            G.add_edge(i, j, weight=w)
+        ref = nx.max_weight_matching(G)
+        ref_w = sum(weights[(min(a, b), max(a, b))] for a, b in ref)
+        assert ours.total_weight(wt) == pytest.approx(ref_w)
+
+    def test_tie_heavy_integer_weights(self):
+        rng = np.random.default_rng(3)
+        n = 20
+        weights = {
+            (i, j): float(rng.integers(1, 4))
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.5
+        }
+        wt = WeightTable(weights, n)
+        ours = max_weight_matching_blossom(wt)
+        G = nx.Graph()
+        for (i, j), w in weights.items():
+            G.add_edge(i, j, weight=w)
+        ref_w = sum(
+            weights[(min(a, b), max(a, b))] for a, b in nx.max_weight_matching(G)
+        )
+        assert ours.total_weight(wt) == pytest.approx(ref_w)
+
+
+class TestValidMatching:
+    @settings(max_examples=30, deadline=None)
+    @given(weighted_instances())
+    def test_output_is_matching(self, inst):
+        wt, _ = inst
+        m = max_weight_matching_blossom(wt)
+        for v in range(wt.n):
+            assert m.degree(v) <= 1
+        for i, j in m.edges():
+            assert wt.has_edge(i, j)

@@ -1,0 +1,112 @@
+"""Tests for deferred acceptance on bipartite instances."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gale_shapley import bipartition, gale_shapley
+from repro.baselines.verify import is_stable
+from repro.core.preferences import PreferenceSystem
+from repro.utils.validation import InvalidInstanceError
+
+
+def random_bipartite(na: int, nb: int, p: float, quota, seed: int) -> PreferenceSystem:
+    """Random bipartite instance; side A = ids 0..na-1."""
+    rng = np.random.default_rng(seed)
+    adj = {i: [] for i in range(na + nb)}
+    for a in range(na):
+        for b in range(na, na + nb):
+            if rng.random() < p:
+                adj[a].append(b)
+                adj[b].append(a)
+    rankings = {}
+    for v in range(na + nb):
+        neigh = list(adj[v])
+        rng.shuffle(neigh)
+        rankings[v] = neigh
+    return PreferenceSystem(rankings, quota)
+
+
+class TestBipartition:
+    def test_detects_sides(self):
+        ps = random_bipartite(4, 5, 0.7, 2, seed=1)
+        sides = bipartition(ps)
+        assert sides is not None
+        a, b = sides
+        for i, j in ps.edges():
+            assert (i in a) != (j in a)
+
+    def test_rejects_odd_cycle(self):
+        ps = PreferenceSystem({0: [1, 2], 1: [2, 0], 2: [0, 1]}, 1)
+        assert bipartition(ps) is None
+
+    def test_isolated_nodes_assigned(self):
+        ps = PreferenceSystem({0: [1], 1: [0], 2: []}, 1)
+        a, b = bipartition(ps)
+        assert a | b == {0, 1, 2}
+
+
+class TestGaleShapley:
+    def test_classic_marriage(self):
+        # men 0,1 / women 2,3 with crossed preferences
+        ps = PreferenceSystem(
+            {0: [2, 3], 1: [2, 3], 2: [1, 0], 3: [0, 1]}, 1
+        )
+        m = gale_shapley(ps, proposers=[0, 1])
+        assert is_stable(ps, m)
+        assert m.size() == 2
+
+    def test_always_stable_on_random_instances(self):
+        """The deferred-acceptance guarantee, property-style."""
+        for seed in range(12):
+            ps = random_bipartite(6, 6, 0.5, int(seed % 3) + 1, seed=seed)
+            m = gale_shapley(ps)
+            assert is_stable(ps, m), seed
+
+    def test_proposer_optimality(self):
+        """A-proposing yields A-satisfaction ≥ the B-proposing outcome."""
+        better_or_equal = 0
+        trials = 0
+        for seed in range(10):
+            na = nb = 5
+            ps = random_bipartite(na, nb, 0.6, 1, seed=100 + seed)
+            a_side = list(range(na))
+            b_side = list(range(na, na + nb))
+            m_a = gale_shapley(ps, proposers=a_side)
+            m_b = gale_shapley(ps, proposers=b_side)
+            sat_a_when_a = sum(m_a.satisfaction_vector(ps)[i] for i in a_side)
+            sat_a_when_b = sum(m_b.satisfaction_vector(ps)[i] for i in a_side)
+            trials += 1
+            if sat_a_when_a >= sat_a_when_b - 1e-9:
+                better_or_equal += 1
+        assert better_or_equal == trials
+
+    def test_quota_version(self):
+        # one college (quota 2), three students
+        ps = PreferenceSystem(
+            {0: [3], 1: [3], 2: [3], 3: [0, 1, 2]},
+            {0: 1, 1: 1, 2: 1, 3: 2},
+        )
+        m = gale_shapley(ps, proposers=[0, 1, 2])
+        assert m.connections(3) == frozenset({0, 1})  # top-2 by 3's ranks
+        assert is_stable(ps, m)
+
+    def test_rejects_non_bipartite(self):
+        ps = PreferenceSystem({0: [1, 2], 1: [2, 0], 2: [0, 1]}, 1)
+        with pytest.raises(InvalidInstanceError, match="not bipartite"):
+            gale_shapley(ps)
+
+    def test_rejects_non_crossing_bipartition(self):
+        ps = PreferenceSystem({0: [1], 1: [0]}, 1)
+        with pytest.raises(InvalidInstanceError, match="does not cross"):
+            gale_shapley(ps, proposers=[0, 1])
+
+    def test_agrees_with_fixtures_hybrid_existence(self):
+        """Bipartite instances always have stable matchings; the general
+        hybrid must agree."""
+        from repro.baselines.stable_fixtures import stable_fixtures_matching
+
+        ps = random_bipartite(5, 5, 0.5, 2, seed=3)
+        gs = gale_shapley(ps)
+        hybrid = stable_fixtures_matching(ps)
+        assert hybrid.exists is True
+        assert is_stable(ps, gs) and is_stable(ps, hybrid.matching)

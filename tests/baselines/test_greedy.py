@@ -1,0 +1,70 @@
+"""Tests for greedy comparators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.exact import max_weight_bmatching_milp
+from repro.baselines.greedy import (
+    global_greedy_matching,
+    path_growing_matching,
+    random_order_greedy,
+)
+from repro.core.lic import lic_matching
+from repro.core.weights import WeightTable
+
+from tests.conftest import weighted_instances
+
+
+class TestGlobalGreedy:
+    @settings(max_examples=25, deadline=None)
+    @given(weighted_instances())
+    def test_identical_to_lic(self, inst):
+        wt, quotas = inst
+        assert (
+            global_greedy_matching(wt, quotas).edge_set()
+            == lic_matching(wt, quotas).edge_set()
+        )
+
+
+class TestRandomOrderGreedy:
+    def test_feasible_and_maximal(self):
+        wt = WeightTable({(0, 1): 1.0, (1, 2): 2.0, (0, 2): 3.0}, 3)
+        rng = np.random.default_rng(0)
+        m = random_order_greedy(wt, [1, 1, 1], rng)
+        assert m.size() == 1  # triangle with quota 1: any single edge is maximal
+
+    def test_deterministic_given_rng(self):
+        wt = WeightTable({(i, j): 1.0 + i + j for i in range(6) for j in range(i + 1, 6)}, 6)
+        a = random_order_greedy(wt, [2] * 6, np.random.default_rng(5))
+        b = random_order_greedy(wt, [2] * 6, np.random.default_rng(5))
+        assert a.edge_set() == b.edge_set()
+
+    @settings(max_examples=20, deadline=None)
+    @given(weighted_instances())
+    def test_respects_quotas(self, inst):
+        wt, quotas = inst
+        m = random_order_greedy(wt, quotas, np.random.default_rng(1))
+        for v in range(wt.n):
+            assert m.degree(v) <= quotas[v]
+
+
+class TestPathGrowing:
+    def test_simple_path(self):
+        wt = WeightTable({(0, 1): 2.0, (1, 2): 3.0, (2, 3): 2.0}, 4)
+        m = path_growing_matching(wt)
+        # Path growing achieves >= 1/2 OPT (OPT = 4 here)
+        assert m.total_weight(wt) >= 2.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(weighted_instances(max_n=7))
+    def test_half_approximation_one_to_one(self, inst):
+        """Drake–Hougardy guarantee against the exact 1–1 optimum."""
+        wt, _ = inst
+        ones = [1] * wt.n
+        m = path_growing_matching(wt)
+        # it must be a valid 1-1 matching
+        for v in range(wt.n):
+            assert m.degree(v) <= 1
+        opt = max_weight_bmatching_milp(wt, ones).total_weight(wt)
+        assert m.total_weight(wt) >= 0.5 * opt - 1e-9

@@ -1,0 +1,63 @@
+"""Tests for Hoepman's distributed 1-1 matching (paper ref [6])."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.hoepman import run_hoepman
+from repro.core.lic import lic_matching
+from repro.core.weights import WeightTable
+from repro.distsim import ExponentialLatency, UniformLatency
+
+from tests.conftest import weighted_instances
+
+
+class TestHoepman:
+    def test_two_nodes(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        res = run_hoepman(wt)
+        assert res.matching.edge_set() == {(0, 1)}
+        assert res.req_messages == 2 and res.drop_messages == 0
+
+    def test_path_chain(self):
+        wt = WeightTable({(0, 1): 3.0, (1, 2): 2.0, (2, 3): 1.5}, 4)
+        res = run_hoepman(wt)
+        # locally heaviest: (0,1) then (2,3)
+        assert res.matching.edge_set() == {(0, 1), (2, 3)}
+
+    def test_isolated_node(self):
+        wt = WeightTable({(0, 1): 1.0}, 3)
+        res = run_hoepman(wt)
+        assert res.nodes[2].terminated and res.nodes[2].partner is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(weighted_instances())
+    def test_equals_unit_quota_greedy(self, inst):
+        """Hoepman == LIC with quotas forced to 1 (the lineage claim)."""
+        wt, _ = inst
+        ones = [1] * wt.n
+        reference = lic_matching(wt, ones).edge_set()
+        assert run_hoepman(wt).matching.edge_set() == reference
+
+    @settings(max_examples=15, deadline=None)
+    @given(weighted_instances(max_n=7))
+    def test_schedule_independence(self, inst):
+        wt, _ = inst
+        reference = lic_matching(wt, [1] * wt.n).edge_set()
+        for seed, latency in enumerate(
+            (UniformLatency(0.2, 3.0), ExponentialLatency(1.0))
+        ):
+            res = run_hoepman(wt, latency=latency, fifo=False, seed=seed)
+            assert res.matching.edge_set() == reference
+
+    @settings(max_examples=20, deadline=None)
+    @given(weighted_instances())
+    def test_message_bounds(self, inst):
+        """Hoepman's bound: at most one REQ and one DROP per edge side."""
+        wt, _ = inst
+        res = run_hoepman(wt)
+        assert res.req_messages <= 2 * wt.m
+        assert res.drop_messages <= 2 * wt.m
+        for i, node in enumerate(res.nodes):
+            deg = len(wt.neighbors(i))
+            assert node.reqs_sent <= deg
+            assert node.drops_sent <= deg

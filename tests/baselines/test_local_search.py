@@ -1,0 +1,77 @@
+"""Tests for the local-search b-matching improver."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.exact import max_weight_bmatching_milp
+from repro.baselines.local_search import local_search_bmatching
+from repro.core.lic import lic_matching
+from repro.core.matching import Matching
+from repro.core.weights import WeightTable
+
+from tests.conftest import weighted_instances
+
+
+class TestMoves:
+    def test_add_from_empty(self):
+        wt = WeightTable({(0, 1): 1.0, (2, 3): 2.0}, 4)
+        res = local_search_bmatching(wt, [1] * 4, Matching(4))
+        assert res.matching.edge_set() == {(0, 1), (2, 3)}
+        assert res.add_moves == 2 and res.swap_moves == 0
+
+    def test_swap_improves_bad_start(self):
+        # start matched on the light edge of a path
+        wt = WeightTable({(0, 1): 1.0, (1, 2): 5.0}, 3)
+        start = Matching(3, [(0, 1)])
+        res = local_search_bmatching(wt, [1, 1, 1], start)
+        assert res.matching.edge_set() == {(1, 2)}
+        assert res.swap_moves >= 1
+
+    def test_two_for_one_fixes_greedy_trap(self):
+        # greedy takes the middle edge; 2-for-1 recovers the outer pair
+        wt = WeightTable({(0, 1): 2.0, (1, 2): 3.0, (2, 3): 2.0}, 4)
+        greedy = lic_matching(wt, [1] * 4)
+        assert greedy.edge_set() == {(1, 2)}
+        res = local_search_bmatching(wt, [1] * 4, greedy)
+        assert res.matching.edge_set() == {(0, 1), (2, 3)}
+        assert res.two_for_one_moves == 1
+
+    def test_input_not_mutated(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        start = Matching(2)
+        local_search_bmatching(wt, [1, 1], start)
+        assert start.size() == 0
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(weighted_instances())
+    def test_never_worse_and_feasible(self, inst):
+        wt, quotas = inst
+        greedy = lic_matching(wt, quotas)
+        res = local_search_bmatching(wt, quotas, greedy)
+        assert res.matching.total_weight(wt) >= greedy.total_weight(wt) - 1e-12
+        for v in range(wt.n):
+            assert res.matching.degree(v) <= quotas[v]
+
+    @settings(max_examples=25, deadline=None)
+    @given(weighted_instances(max_n=6))
+    def test_bounded_by_optimum(self, inst):
+        wt, quotas = inst
+        res = local_search_bmatching(wt, quotas, lic_matching(wt, quotas))
+        opt = max_weight_bmatching_milp(wt, quotas).total_weight(wt)
+        assert res.matching.total_weight(wt) <= opt + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(weighted_instances())
+    def test_greedy_start_first_move_never_add_or_swap(self, inst):
+        """LIC output has no weighted blocking edge, so the *first* move
+        (if any) must be a 2-for-1 — the executable form of the greedy
+        certificate.  (Later adds/swaps may fire on the modified
+        matching.)"""
+        wt, quotas = inst
+        res = local_search_bmatching(
+            wt, quotas, lic_matching(wt, quotas), max_moves=1
+        )
+        assert res.add_moves == 0
+        assert res.swap_moves == 0

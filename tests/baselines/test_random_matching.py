@@ -1,0 +1,29 @@
+"""Tests for the random maximal b-matching baseline."""
+
+import numpy as np
+
+from repro.baselines.random_matching import random_bmatching
+
+from tests.conftest import random_ps
+
+
+class TestRandomBMatching:
+    def test_feasible_and_maximal(self):
+        ps = random_ps(20, 0.3, 2, seed=2, ensure_edges=True)
+        m = random_bmatching(ps, np.random.default_rng(0))
+        m.validate(ps)
+        assert m.is_maximal(ps)
+
+    def test_varies_with_rng(self):
+        ps = random_ps(20, 0.4, 2, seed=2, ensure_edges=True)
+        sets = {
+            random_bmatching(ps, np.random.default_rng(s)).edge_set()
+            for s in range(8)
+        }
+        assert len(sets) > 1  # genuinely random across seeds
+
+    def test_reproducible_for_seed(self):
+        ps = random_ps(15, 0.4, 2, seed=4, ensure_edges=True)
+        a = random_bmatching(ps, np.random.default_rng(3))
+        b = random_bmatching(ps, np.random.default_rng(3))
+        assert a.edge_set() == b.edge_set()

@@ -1,0 +1,75 @@
+"""Tests for the stable-fixtures hybrid solver."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.stable_fixtures import (
+    phase1,
+    stable_fixtures_matching,
+)
+from repro.baselines.verify import is_stable
+from repro.core.preferences import PreferenceSystem
+
+from tests.conftest import preference_systems, random_ps
+
+
+class TestPhase1:
+    def test_mutual_tops_hold(self):
+        ps = PreferenceSystem({0: [1, 2], 1: [0, 2], 2: [0, 1]}, 1)
+        state = phase1(ps)
+        assert (0, 1) in state.mutual
+
+    def test_holds_respect_quota(self):
+        ps = random_ps(15, 0.4, 2, seed=3, ensure_edges=True)
+        state = phase1(ps)
+        for j in ps.nodes():
+            assert len(state.holds[j]) <= ps.quota(j)
+            assert len(state.proposed_to[j]) <= ps.quota(j)
+
+    def test_better_proposal_bounces_worst(self):
+        # star: centre 2 with quota 1; leaves 0,1 both propose to 2;
+        # 2 prefers 0, so 1 is bounced and exhausts its list
+        ps = PreferenceSystem({0: [2], 1: [2], 2: [0, 1]}, 1)
+        state = phase1(ps)
+        assert state.holds[2] == {0}
+        assert 1 in state.exhausted
+
+    def test_deterministic(self):
+        ps = random_ps(12, 0.5, 2, seed=7, ensure_edges=True)
+        a, b = phase1(ps), phase1(ps)
+        assert a.mutual == b.mutual and a.holds == b.holds
+
+
+class TestHybridSolver:
+    def test_certified_when_found(self):
+        for seed in range(8):
+            ps = random_ps(8, 0.5, 2, seed=seed, ensure_edges=True)
+            res = stable_fixtures_matching(ps)
+            if res.matching is not None:
+                assert is_stable(ps, res.matching)
+                assert res.exists is True
+                assert res.method in ("phase1", "dynamics", "exhaustive")
+
+    def test_rotating_triangle_has_none(self, triangle_ps):
+        res = stable_fixtures_matching(triangle_ps)
+        assert res.matching is None
+        assert res.exists is False  # proven by exhaustive search
+
+    def test_trivial_instance(self):
+        ps = PreferenceSystem({0: [1], 1: [0]}, 1)
+        res = stable_fixtures_matching(ps)
+        assert res.matching is not None
+        assert res.matching.edge_set() == {(0, 1)}
+
+    @settings(max_examples=25, deadline=None)
+    @given(preference_systems(max_n=6))
+    def test_answers_are_sound(self, ps):
+        res = stable_fixtures_matching(ps)
+        if res.matching is not None:
+            assert is_stable(ps, res.matching)
+        elif res.exists is False and ps.m <= 16:
+            # exhaustive proof: verify a sample of matchings are blocked
+            from repro.core.matching import Matching
+
+            for edge in ps.edges():
+                assert not is_stable(ps, Matching(ps.n, [edge]))

@@ -1,0 +1,53 @@
+"""Tests for the blocking-pair / stability certifiers."""
+
+from repro.baselines.verify import blocking_pairs, count_blocking_pairs, is_stable
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+
+
+class TestBlockingPairs:
+    def test_empty_matching_blocked_by_every_edge(self, small_ps):
+        m = Matching(5)
+        assert set(blocking_pairs(small_ps, m)) == set(small_ps.edges())
+
+    def test_triangle_no_stable_matching(self, triangle_ps):
+        # every feasible 1-matching of the rotating triangle is blocked
+        for edge in triangle_ps.edges():
+            m = Matching(3, [edge])
+            assert blocking_pairs(triangle_ps, m)
+
+    def test_mutually_top_pair_is_stable(self):
+        ps = PreferenceSystem({0: [1, 2], 1: [0, 2], 2: [0, 1]}, 1)
+        m = Matching(3, [(0, 1)])  # 0 and 1 are each other's top choice
+        assert is_stable(ps, m)
+
+    def test_quota_slack_creates_block(self):
+        ps = PreferenceSystem({0: [1], 1: [0, 2], 2: [1]}, {0: 1, 1: 2, 2: 1})
+        m = Matching(3, [(0, 1)])
+        # node 1 has spare quota and 2 is unmatched -> (1,2) blocks
+        assert blocking_pairs(ps, m) == [(1, 2)]
+        m.add(1, 2)
+        assert is_stable(ps, m)
+
+    def test_preference_swap_creates_block(self):
+        # 1 is matched to its worst choice while its best is available
+        ps = PreferenceSystem({0: [1], 1: [2, 0], 2: [1]}, 1)
+        m = Matching(3, [(0, 1)])
+        assert blocking_pairs(ps, m) == [(1, 2)]
+
+    def test_count(self, small_ps):
+        assert count_blocking_pairs(small_ps, Matching(5)) == small_ps.m
+
+
+class TestIsStable:
+    def test_infeasible_never_stable(self, small_ps):
+        overfull = Matching(5, [(0, 1), (0, 2)])  # b_0 = 1
+        assert not is_stable(small_ps, overfull)
+
+    def test_stable_example(self, small_ps):
+        # hand-checked stable configuration for the fixture:
+        # 0-1 (mutual bests), 1-3, 2-3.  Node 2 has slack but its other
+        # neighbours 0 and 1 are full with better partners; node 4's only
+        # neighbour 3 is full and prefers 1,2 (ranks 0,1) to 4 (rank 2).
+        m = Matching(5, [(0, 1), (1, 3), (2, 3)])
+        assert is_stable(small_ps, m)

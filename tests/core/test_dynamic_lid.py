@@ -1,0 +1,218 @@
+"""Tests for the dynamic (churn-capable) distributed LID protocol.
+
+The key property: after start-up and after *every* join/leave event the
+protocol quiesces, locks are symmetric, and the mutual-lock matching
+equals the centralised LIC matching of the current overlay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_lid import DynamicLidHarness
+from repro.core.lic import lic_matching
+from repro.core.weights import WeightTable
+from repro.distsim import ExponentialLatency, UniformLatency
+from repro.utils.validation import ProtocolError
+
+
+def random_pref_orders(n, p, rng):
+    adj = [[] for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                adj[i].append(j)
+                adj[j].append(i)
+    orders = []
+    for i in range(n):
+        neigh = list(adj[i])
+        rng.shuffle(neigh)
+        orders.append(neigh)
+    return orders
+
+
+def reference_matching(harness: DynamicLidHarness):
+    """Centralised LIC on the harness's current overlay (external ids)."""
+    nodes = harness.nodes
+    weights = {}
+    for i in sorted(harness.alive):
+        for j in nodes[i].pref_order:
+            if i < j and j in harness.alive:
+                weights[(i, j)] = nodes[i].my_delta(j) + nodes[j].my_delta(i)
+    wt = WeightTable(weights, len(nodes))
+    quotas = [
+        nodes[k].quota if k in harness.alive else 0 for k in range(len(nodes))
+    ]
+    return lic_matching(wt, quotas)
+
+
+def assert_converged_to_greedy(harness):
+    assert harness.half_locks() == []
+    assert harness.matching().edge_set() == reference_matching(harness).edge_set()
+
+
+class TestStaticConvergence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_startup_reaches_lic(self, seed):
+        rng = np.random.default_rng(seed)
+        orders = random_pref_orders(14, 0.4, rng)
+        h = DynamicLidHarness(orders, [2] * 14, seed=seed)
+        h.run_to_quiescence()
+        assert_converged_to_greedy(h)
+
+    def test_startup_async_latency(self):
+        rng = np.random.default_rng(7)
+        orders = random_pref_orders(12, 0.5, rng)
+        for latency in (UniformLatency(0.2, 3.0), ExponentialLatency(1.0)):
+            h = DynamicLidHarness(orders, [2] * 12, latency=latency, seed=3)
+            h.run_to_quiescence()
+            assert_converged_to_greedy(h)
+
+    def test_empty_and_tiny(self):
+        h = DynamicLidHarness([[1], [0]], [1, 1])
+        h.run_to_quiescence()
+        assert h.matching().edge_set() == {(0, 1)}
+
+
+class TestLeaves:
+    def test_single_leave(self):
+        rng = np.random.default_rng(1)
+        orders = random_pref_orders(12, 0.5, rng)
+        h = DynamicLidHarness(orders, [2] * 12, seed=1)
+        h.run_to_quiescence()
+        stats = h.leave(3)
+        assert stats.event == "leave" and stats.node == 3
+        assert 3 not in h.alive
+        assert_converged_to_greedy(h)
+
+    def test_sequential_leaves(self):
+        rng = np.random.default_rng(2)
+        orders = random_pref_orders(14, 0.45, rng)
+        h = DynamicLidHarness(orders, [2] * 14, seed=2)
+        h.run_to_quiescence()
+        for victim in (0, 5, 9, 13):
+            h.leave(victim)
+            assert_converged_to_greedy(h)
+
+    def test_leave_unknown_raises(self):
+        h = DynamicLidHarness([[1], [0]], [1, 1])
+        h.run_to_quiescence()
+        with pytest.raises(KeyError):
+            h.leave(77)
+        h.leave(0)
+        with pytest.raises(KeyError):
+            h.leave(0)
+
+
+class TestJoins:
+    def test_single_join(self):
+        rng = np.random.default_rng(3)
+        orders = random_pref_orders(10, 0.5, rng)
+        h = DynamicLidHarness(orders, [2] * 10, seed=3)
+        h.run_to_quiescence()
+        neighbours = [0, 2, 4]
+        positions = {j: int(rng.integers(0, len(h.nodes[j].pref_order) + 1))
+                     for j in neighbours}
+        new_id, stats = h.join(neighbours, quota=2, positions=positions)
+        assert new_id == 10 and stats.event == "join"
+        assert_converged_to_greedy(h)
+
+    def test_join_validation(self):
+        h = DynamicLidHarness([[1], [0]], [1, 1])
+        h.run_to_quiescence()
+        with pytest.raises(KeyError):
+            h.join([9], 1, {9: 0})
+        with pytest.raises(ValueError):
+            h.join([0], 1, {})
+
+
+class TestChurnSessions:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomised_session(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n0 = 12
+        orders = random_pref_orders(n0, 0.45, rng)
+        quotas = [int(rng.integers(1, 4)) for _ in range(n0)]
+        h = DynamicLidHarness(orders, quotas, seed=seed)
+        h.run_to_quiescence()
+        assert_converged_to_greedy(h)
+        for _ in range(12):
+            alive = sorted(h.alive)
+            if rng.random() < 0.45 and len(alive) > 4:
+                h.leave(int(rng.choice(alive)))
+            else:
+                k = min(int(rng.integers(1, 5)), len(alive))
+                neigh = [int(x) for x in rng.choice(alive, size=k, replace=False)]
+                positions = {
+                    j: int(rng.integers(0, len(h.nodes[j].pref_order) + 1))
+                    for j in neigh
+                }
+                h.join(neigh, quota=int(rng.integers(1, 4)), positions=positions)
+            assert_converged_to_greedy(h)
+
+    def test_session_under_async_latency(self):
+        rng = np.random.default_rng(42)
+        orders = random_pref_orders(10, 0.5, rng)
+        h = DynamicLidHarness(
+            orders, [2] * 10, latency=UniformLatency(0.3, 2.5), seed=5
+        )
+        h.run_to_quiescence()
+        h.leave(2)
+        assert_converged_to_greedy(h)
+        neigh = sorted(h.alive)[:3]
+        positions = {j: 0 for j in neigh}
+        h.join(neigh, quota=2, positions=positions)
+        assert_converged_to_greedy(h)
+
+    def test_message_accounting_per_event(self):
+        rng = np.random.default_rng(8)
+        orders = random_pref_orders(12, 0.4, rng)
+        h = DynamicLidHarness(orders, [2] * 12, seed=8)
+        startup = h.run_to_quiescence()
+        assert startup.messages > 0
+        stats = h.leave(1)
+        # repair cost is local: far fewer messages than the full start-up
+        assert 0 < stats.messages < startup.messages
+
+
+class TestFuzzing:
+    """Hypothesis-driven churn sessions: arbitrary event sequences and
+    latency regimes must always quiesce to the LIC matching."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.lists(st.tuples(st.booleans(), st.integers(0, 2**31 - 1)),
+                 min_size=1, max_size=6),
+        st.sampled_from(["unit", "uniform", "exp"]),
+    )
+    def test_random_sessions_converge(self, seed, events, latency_kind):
+        import numpy as np
+        from repro.distsim import ExponentialLatency, UniformLatency
+
+        latency = {
+            "unit": None,
+            "uniform": UniformLatency(0.3, 2.0),
+            "exp": ExponentialLatency(0.8),
+        }[latency_kind]
+        rng = np.random.default_rng(seed)
+        orders = random_pref_orders(8, 0.5, rng)
+        quotas = [int(rng.integers(1, 3)) for _ in range(8)]
+        h = DynamicLidHarness(orders, quotas, latency=latency, seed=seed % 1000)
+        h.run_to_quiescence()
+        assert_converged_to_greedy(h)
+        for is_leave, evseed in events:
+            ev_rng = np.random.default_rng(evseed)
+            alive = sorted(h.alive)
+            if is_leave and len(alive) > 3:
+                h.leave(int(ev_rng.choice(alive)))
+            else:
+                k = min(int(ev_rng.integers(1, 4)), len(alive))
+                neigh = [int(x) for x in ev_rng.choice(alive, size=k, replace=False)]
+                positions = {
+                    j: int(ev_rng.integers(0, len(h.nodes[j].pref_order) + 1))
+                    for j in neigh
+                }
+                h.join(neigh, quota=int(ev_rng.integers(1, 3)), positions=positions)
+            assert_converged_to_greedy(h)

@@ -1,0 +1,89 @@
+"""Vectorised kernels must agree exactly with the scalar references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.fast import (
+    edge_weight_arrays,
+    satisfaction_profile_fast,
+    satisfaction_weights_fast,
+)
+from repro.core.lic import solve_modified_bmatching
+from repro.core.weights import satisfaction_weights
+
+from tests.conftest import preference_systems, random_ps
+
+
+class TestWeightsFast:
+    @settings(max_examples=30, deadline=None)
+    @given(preference_systems())
+    def test_matches_scalar_weights(self, ps):
+        scalar = satisfaction_weights(ps)
+        fast = satisfaction_weights_fast(ps)
+        assert fast.m == scalar.m
+        for i, j in ps.edges():
+            assert fast.weight(i, j) == pytest.approx(scalar.weight(i, j), abs=1e-14)
+
+    def test_edge_arrays_shape(self):
+        ps = random_ps(20, 0.3, 2, seed=1, ensure_edges=True)
+        i_arr, j_arr, w = edge_weight_arrays(ps)
+        assert len(i_arr) == len(j_arr) == len(w) == ps.m
+        assert (i_arr < j_arr).all()
+        assert (w > 0).all()
+
+    def test_same_greedy_result(self):
+        ps = random_ps(30, 0.3, 3, seed=2, ensure_edges=True)
+        from repro.core.lic import lic_matching
+
+        a = lic_matching(satisfaction_weights(ps), ps.quotas)
+        b = lic_matching(satisfaction_weights_fast(ps), ps.quotas)
+        assert a.edge_set() == b.edge_set()
+
+
+class TestSatisfactionFast:
+    @settings(max_examples=30, deadline=None)
+    @given(preference_systems())
+    def test_matches_scalar_profile(self, ps):
+        matching, _ = solve_modified_bmatching(ps)
+        for kind in ("full", "static"):
+            fast = satisfaction_profile_fast(ps, matching, kind)
+            slow = matching.satisfaction_vector(ps, kind)
+            assert np.allclose(fast, slow, atol=1e-12)
+
+    def test_empty_matching(self):
+        ps = random_ps(10, 0.3, 2, seed=3, ensure_edges=True)
+        from repro.core.matching import Matching
+
+        fast = satisfaction_profile_fast(ps, Matching(ps.n))
+        assert np.allclose(fast, 0.0)
+
+    def test_isolated_nodes_score_zero(self):
+        from repro.core.preferences import PreferenceSystem
+        from repro.core.matching import Matching
+
+        ps = PreferenceSystem({0: [1], 1: [0], 2: []}, 1)
+        out = satisfaction_profile_fast(ps, Matching(3, [(0, 1)]))
+        assert out[2] == 0.0 and out[0] == pytest.approx(1.0)
+
+    def test_invalid_kind(self):
+        ps = random_ps(5, 0.5, 1, seed=0, ensure_edges=True)
+        from repro.core.matching import Matching
+
+        with pytest.raises(ValueError):
+            satisfaction_profile_fast(ps, Matching(ps.n), kind="bogus")
+
+    def test_faster_on_large_instance(self):
+        """Sanity: the vectorised path is not slower at n=800."""
+        import time
+
+        ps = random_ps(800, 0.01, 3, seed=5, ensure_edges=True)
+        matching, _ = solve_modified_bmatching(ps)
+        t0 = time.perf_counter()
+        slow = matching.satisfaction_vector(ps)
+        t_slow = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast = satisfaction_profile_fast(ps, matching)
+        t_fast = time.perf_counter() - t0
+        assert np.allclose(fast, slow)
+        assert t_fast < t_slow * 2.0  # never pathological

@@ -1,0 +1,122 @@
+"""Unit and property tests for LIC (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.analysis import greedy_certificate, weighted_blocking_edges
+from repro.core.lic import (
+    lic_matching,
+    lic_matching_pool,
+    locally_heaviest_edges,
+    solve_modified_bmatching,
+)
+from repro.core.weights import WeightTable, satisfaction_weights
+
+from tests.conftest import preference_systems, random_ps, weighted_instances
+
+
+class TestSortedScan:
+    def test_simple_path(self):
+        # path 0-1-2 with w(0,1)=3 > w(1,2)=2, quotas 1
+        wt = WeightTable({(0, 1): 3.0, (1, 2): 2.0}, 3)
+        m = lic_matching(wt, [1, 1, 1])
+        assert m.edge_set() == {(0, 1)}
+
+    def test_quota_two_takes_both(self):
+        wt = WeightTable({(0, 1): 3.0, (1, 2): 2.0}, 3)
+        m = lic_matching(wt, [1, 2, 1])
+        assert m.edge_set() == {(0, 1), (1, 2)}
+
+    def test_star_respects_center_quota(self):
+        wt = WeightTable({(0, i): float(i) for i in range(1, 6)}, 6)
+        m = lic_matching(wt, [2, 1, 1, 1, 1, 1])
+        assert m.edge_set() == {(0, 4), (0, 5)}  # two heaviest spokes
+
+    def test_empty_graph(self):
+        wt = WeightTable({}, 4)
+        assert lic_matching(wt, [1] * 4).size() == 0
+
+    def test_quota_length_mismatch(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        with pytest.raises(ValueError, match="quotas length"):
+            lic_matching(wt, [1])
+
+    def test_tie_break_by_ids(self):
+        # all equal weights: keys order (0,1) < (0,2) < (1,2); scan picks
+        # (1,2) first (heaviest key), then (0,1),(0,2) blocked at quota 1
+        wt = WeightTable({(0, 1): 1.0, (0, 2): 1.0, (1, 2): 1.0}, 3)
+        m = lic_matching(wt, [1, 1, 1])
+        assert m.edge_set() == {(1, 2)}
+
+
+class TestLocallyHeaviest:
+    def test_identifies_local_maxima(self):
+        wt = WeightTable({(0, 1): 5.0, (1, 2): 1.0, (2, 3): 4.0}, 4)
+        pool = set(wt.edges())
+        incident = [set() for _ in range(4)]
+        for e in pool:
+            incident[e[0]].add(e)
+            incident[e[1]].add(e)
+        lhe = set(locally_heaviest_edges(wt, pool, incident))
+        # (0,1) beats (1,2); (2,3) beats (1,2): two local maxima
+        assert lhe == {(0, 1), (2, 3)}
+
+
+class TestPoolConfluence:
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_instances())
+    def test_all_strategies_agree(self, inst):
+        """Lemma 4/6 confluence: outcome independent of selection order."""
+        wt, quotas = inst
+        reference = lic_matching(wt, quotas).edge_set()
+        rng = np.random.default_rng(0)
+        for strategy in ("heaviest", "lightest", "first", "random"):
+            m = lic_matching_pool(wt, quotas, strategy=strategy, rng=rng)
+            assert m.edge_set() == reference
+
+    def test_unknown_strategy(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            lic_matching_pool(wt, [1, 1], strategy="nope")
+
+
+class TestCertificates:
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_instances())
+    def test_output_is_greedy_fixpoint(self, inst):
+        wt, quotas = inst
+        m = lic_matching(wt, quotas)
+        assert greedy_certificate(wt, quotas, m)
+        assert weighted_blocking_edges(wt, quotas, m) == []
+
+    def test_non_greedy_matching_fails_certificate(self):
+        wt = WeightTable({(0, 1): 3.0, (1, 2): 2.0}, 3)
+        from repro.core.matching import Matching
+
+        bad = Matching(3, [(1, 2)])  # leaves heavier (0,1) blocking
+        assert not greedy_certificate(wt, [1, 1, 1], bad)
+        assert weighted_blocking_edges(wt, [1, 1, 1], bad) == [(0, 1)]
+
+    def test_feasibility_checked(self):
+        wt = WeightTable({(0, 1): 3.0, (0, 2): 2.0}, 3)
+        from repro.core.matching import Matching
+
+        overfull = Matching(3, [(0, 1), (0, 2)])
+        assert not greedy_certificate(wt, [1, 1, 1], overfull)
+
+
+class TestPipeline:
+    def test_solve_modified_bmatching(self):
+        ps = random_ps(15, 0.4, 2, seed=3)
+        matching, wt = solve_modified_bmatching(ps)
+        matching.validate(ps)
+        assert matching.is_maximal(ps)
+        assert greedy_certificate(wt, list(ps.quotas), matching)
+
+    @settings(max_examples=30, deadline=None)
+    @given(preference_systems())
+    def test_always_feasible_and_maximal(self, ps):
+        matching, wt = solve_modified_bmatching(ps)
+        matching.validate(ps)
+        assert matching.is_maximal(ps)

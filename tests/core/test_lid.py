@@ -1,0 +1,179 @@
+"""Unit and property tests for LID (Algorithm 1) on the simulator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.lic import lic_matching
+from repro.core.lid import LidNode, run_lid, solve_lid
+from repro.core.weights import WeightTable, satisfaction_weights
+from repro.distsim import (
+    BernoulliLoss,
+    ConstantLatency,
+    ExponentialLatency,
+    Trace,
+    UniformLatency,
+)
+
+from tests.conftest import preference_systems, random_ps, weighted_instances
+
+
+class TestBasicRuns:
+    def test_two_nodes_lock(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        res = run_lid(wt, [1, 1])
+        assert res.matching.edge_set() == {(0, 1)}
+        assert res.prop_messages == 2  # one PROP each way
+        assert res.rej_messages == 0
+
+    def test_path_rejection_flow(self):
+        # 0-1 heavy, 1-2 light, quotas 1: node 2's proposal must be rejected
+        wt = WeightTable({(0, 1): 3.0, (1, 2): 2.0}, 3)
+        res = run_lid(wt, [1, 1, 1])
+        assert res.matching.edge_set() == {(0, 1)}
+        assert res.rej_messages >= 1
+        node2 = res.nodes[2]
+        assert node2.finished and not node2.locked
+
+    def test_isolated_node_finishes(self):
+        wt = WeightTable({(0, 1): 1.0}, 3)
+        res = run_lid(wt, [1, 1, 1])
+        assert res.nodes[2].finished
+        assert res.matching.degree(2) == 0
+
+    def test_quota_zero_node(self):
+        wt = WeightTable({(0, 1): 1.0, (1, 2): 2.0}, 3)
+        res = run_lid(wt, [0, 1, 1])
+        assert res.matching.edge_set() == {(1, 2)}
+        assert res.nodes[0].finished
+
+    def test_quota_exceeding_degree(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        res = run_lid(wt, [5, 5])
+        assert res.matching.edge_set() == {(0, 1)}
+
+
+class TestEquivalenceWithLIC:
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_instances())
+    def test_same_edges_sync(self, inst):
+        """Lemmas 4 & 6: LID locks exactly the LIC edge set."""
+        wt, quotas = inst
+        lic = lic_matching(wt, quotas).edge_set()
+        lid = run_lid(wt, quotas).matching.edge_set()
+        assert lid == lic
+
+    @settings(max_examples=25, deadline=None)
+    @given(weighted_instances())
+    def test_same_edges_async_nonfifo(self, inst):
+        """Schedule independence: any latency model yields the same matching."""
+        wt, quotas = inst
+        lic = lic_matching(wt, quotas).edge_set()
+        for seed, latency in enumerate(
+            (UniformLatency(0.1, 5.0), ExponentialLatency(2.0))
+        ):
+            res = run_lid(wt, quotas, latency=latency, fifo=False, seed=seed)
+            assert res.matching.edge_set() == lic
+
+    def test_larger_random_instance(self):
+        ps = random_ps(60, 0.15, 3, seed=11)
+        res, wt = solve_lid(ps)
+        lic = lic_matching(wt, ps.quotas)
+        assert res.matching.edge_set() == lic.edge_set()
+
+
+class TestMessageBounds:
+    @settings(max_examples=30, deadline=None)
+    @given(weighted_instances())
+    def test_prop_and_rej_bounds(self, inst):
+        """Without retransmission: ≤1 PROP and ≤1 REJ per directed edge."""
+        wt, quotas = inst
+        res = run_lid(wt, quotas)
+        assert res.prop_messages <= 2 * wt.m
+        assert res.rej_messages <= 2 * wt.m
+        for i, node in enumerate(res.nodes):
+            deg = len(wt.neighbors(i))
+            assert node.props_sent <= deg
+            assert node.rejs_sent <= deg
+
+    def test_props_in_decreasing_weight_order(self):
+        """The weight-list discipline: PROPs leave each node heaviest-first."""
+        ps = random_ps(20, 0.3, 2, seed=5)
+        wt = satisfaction_weights(ps)
+        trace = Trace()
+        run_lid(wt, ps.quotas, trace=trace)
+        for i in range(ps.n):
+            targets = [r.peer for r in trace.sends_from(i, kind="PROP")]
+            keys = [wt.key(i, t) for t in targets]
+            assert keys == sorted(keys, reverse=True)
+
+
+class TestTermination:
+    @settings(max_examples=30, deadline=None)
+    @given(preference_systems())
+    def test_all_nodes_finish(self, ps):
+        """Lemma 5: LID terminates for every node."""
+        res, _ = solve_lid(ps)
+        assert all(node.finished for node in res.nodes)
+
+    def test_cyclic_preferences_still_terminate(self, triangle_ps):
+        """The instance where best-response oscillates: LID still halts."""
+        res, _ = solve_lid(triangle_ps)
+        assert all(node.finished for node in res.nodes)
+        assert res.matching.size() == 1  # one pair locks, one node left out
+
+
+class TestRobustnessExtension:
+    def test_loss_without_retransmit_may_stall_quietly(self):
+        """Faithful LID assumes reliable channels; with loss, nodes can
+        wait forever.  The simulator then quiesces with unfinished nodes
+        and run_lid surfaces that as a ProtocolError."""
+        ps = random_ps(20, 0.3, 2, seed=7)
+        wt = satisfaction_weights(ps)
+        from repro.utils.validation import ProtocolError
+
+        stalled = 0
+        for seed in range(6):
+            try:
+                run_lid(wt, ps.quotas, drop_filter=BernoulliLoss(0.3), seed=seed)
+            except ProtocolError:
+                stalled += 1
+        assert stalled > 0  # 30% loss on 100+ messages stalls w.h.p.
+
+    def test_retransmission_restores_termination(self):
+        ps = random_ps(20, 0.3, 2, seed=7)
+        wt = satisfaction_weights(ps)
+        for seed in range(4):
+            res = run_lid(
+                wt,
+                ps.quotas,
+                drop_filter=BernoulliLoss(0.3),
+                retransmit_timeout=3.0,
+                seed=seed,
+            )
+            assert all(node.finished for node in res.nodes)
+            res.matching.validate(ps)
+
+    def test_retransmission_preserves_matching_without_loss(self):
+        ps = random_ps(15, 0.3, 2, seed=9)
+        wt = satisfaction_weights(ps)
+        plain = run_lid(wt, ps.quotas).matching.edge_set()
+        resil = run_lid(wt, ps.quotas, retransmit_timeout=3.0).matching.edge_set()
+        assert plain == resil
+
+
+class TestValidationAndErrors:
+    def test_quota_mismatch(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        with pytest.raises(ValueError, match="quotas length"):
+            run_lid(wt, [1])
+
+    def test_result_accessors(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        res = run_lid(wt, [1, 1])
+        assert res.rounds >= 1.0
+        assert res.metrics.total_sent == res.prop_messages + res.rej_messages
+
+    def test_node_repr_state(self):
+        node = LidNode([1, 2], 1)
+        assert node.quota == 1 and node.weight_list == [1, 2]
+        assert not node.finished

@@ -1,0 +1,73 @@
+"""Tests for mixed adopter/legacy populations."""
+
+import numpy as np
+import pytest
+
+from repro.core.lic import lic_matching
+from repro.core.mixed import run_mixed_adoption
+from repro.core.weights import satisfaction_weights
+
+from tests.conftest import random_ps
+
+
+class TestFullAdoption:
+    def test_equals_plain_lid(self):
+        ps = random_ps(20, 0.3, 2, seed=1, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        res = run_mixed_adoption(wt, ps.quotas, adopters=range(ps.n))
+        assert not res.deadlocked
+        assert res.matching.edge_set() == lic_matching(wt, ps.quotas).edge_set()
+
+    def test_never_deadlocks(self):
+        for seed in range(6):
+            ps = random_ps(15, 0.4, 2, seed=seed, ensure_edges=True)
+            wt = satisfaction_weights(ps)
+            res = run_mixed_adoption(wt, ps.quotas, adopters=range(ps.n))
+            assert not res.deadlocked  # Lemma 5
+
+
+class TestMixedPopulations:
+    def test_legacy_can_deadlock(self):
+        """With enough non-conforming peers, communication cycles occur —
+        the empirical necessity of the symmetric-weight convention."""
+        ps = random_ps(25, 0.35, 3, seed=2, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        stalled = 0
+        for s in range(5):
+            res = run_mixed_adoption(wt, ps.quotas, adopters=[], legacy_seed=s)
+            if res.deadlocked:
+                stalled += 1
+        assert stalled > 0
+
+    def test_partial_matching_is_feasible(self):
+        ps = random_ps(25, 0.35, 3, seed=2, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        res = run_mixed_adoption(wt, ps.quotas, adopters=range(0, 25, 2), legacy_seed=1)
+        res.matching.validate(ps)  # quota-feasible even when stalled
+
+    def test_locks_symmetric_even_in_deadlock(self):
+        ps = random_ps(20, 0.4, 2, seed=4, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        # extraction raises ProtocolError on asymmetry; reaching here = ok
+        res = run_mixed_adoption(wt, ps.quotas, adopters=[], legacy_seed=0)
+        assert res.matching.size() >= 0
+
+    def test_adopter_advantage(self):
+        """Across seeds, adopters average at least the legacy satisfaction."""
+        ps = random_ps(30, 0.3, 3, seed=6, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        ad_scores, lg_scores = [], []
+        rng = np.random.default_rng(0)
+        for s in range(6):
+            ad = {int(x) for x in rng.choice(ps.n, size=ps.n // 2, replace=False)}
+            res = run_mixed_adoption(wt, ps.quotas, adopters=ad, legacy_seed=s)
+            v = res.matching.satisfaction_vector(ps)
+            ad_scores.append(np.mean([v[i] for i in ad]))
+            lg_scores.append(np.mean([v[i] for i in range(ps.n) if i not in ad]))
+        assert np.mean(ad_scores) > np.mean(lg_scores)
+
+    def test_adopter_validation(self):
+        ps = random_ps(5, 0.8, 1, seed=0, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        with pytest.raises(ValueError, match="outside"):
+            run_mixed_adoption(wt, ps.quotas, adopters=[99])

@@ -1,0 +1,142 @@
+"""Unit and property tests for the satisfaction metric (paper §3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.matching import Matching
+from repro.core.lic import solve_modified_bmatching
+from repro.core.satisfaction import (
+    connection_list,
+    delta_full,
+    delta_static,
+    full_satisfaction,
+    lemma1_bound,
+    lemma1_worst_case,
+    static_dynamic_split,
+    static_satisfaction,
+)
+from repro.core.preferences import PreferenceSystem
+
+from tests.conftest import preference_systems
+
+
+class TestFormulas:
+    def test_empty_connections(self, small_ps):
+        assert full_satisfaction(small_ps, 1, []) == 0.0
+        assert static_satisfaction(small_ps, 1, []) == 0.0
+
+    def test_top_choices_give_satisfaction_one(self):
+        # node 0: L=[1,2], b=2, connected to both -> S = 1
+        ps = PreferenceSystem({0: [1, 2], 1: [0, 2], 2: [0, 1]}, 2)
+        assert full_satisfaction(ps, 0, [1, 2]) == pytest.approx(1.0)
+
+    def test_paper_example_figure1(self):
+        """The worked example of Figure 1: b_i=4, ranks {0,1,4,6}, L_i=14.
+
+        S_i = 1 - (1-1)/ (4*14) - ... = c/b - Σ(R-Q)/(bL)
+            = 1 - (0-0 + 1-1 + 4-2 + 6-3)/(4*14) = 1 - 5/56 = 0.9107...
+
+        The paper prints 0.893 for its (unshown) list; here we verify the
+        formula against a hand computation with explicit ranks.
+        """
+        # Build: node 0 with 14 neighbours; connected to ranks 0,1,4,6
+        n = 15
+        rankings = {0: list(range(1, 15))}
+        for j in range(1, 15):
+            rankings[j] = [0]
+        ps = PreferenceSystem(rankings, {0: 4, **{j: 1 for j in range(1, 15)}})
+        conns = [rankings[0][r] for r in (0, 1, 4, 6)]
+        expected = 1.0 - (0 - 0 + 1 - 1 + 4 - 2 + 6 - 3) / (4 * 14)
+        assert full_satisfaction(ps, 0, conns) == pytest.approx(expected)
+
+    def test_single_connection_rank_penalty(self):
+        # node 0: L=[1,2,3], b=1; connecting to rank-2 neighbour
+        rankings = {0: [1, 2, 3], 1: [0], 2: [0], 3: [0]}
+        ps = PreferenceSystem(rankings, 1)
+        # S = 1/1 + 0 - 2/(1*3)
+        assert full_satisfaction(ps, 0, [3]) == pytest.approx(1 - 2 / 3)
+
+    def test_rejects_overfull(self, small_ps):
+        with pytest.raises(ValueError, match="quota"):
+            full_satisfaction(small_ps, 0, [1, 2])  # b_0 = 1
+
+    def test_isolated_node(self):
+        ps = PreferenceSystem({0: [1], 1: [0], 2: []}, 1)
+        assert full_satisfaction(ps, 2, []) == 0.0
+        with pytest.raises(ValueError, match="isolated"):
+            full_satisfaction(ps, 2, [0])
+
+
+class TestDeltas:
+    def test_delta_static_matches_formula(self, small_ps):
+        # node 3: L=[1,2,4] (len 3), b=2; delta for j=2 (rank 1)
+        assert delta_static(small_ps, 3, 2) == pytest.approx((1 - 1 / 3) / 2)
+
+    def test_delta_full_adds_dynamic_term(self, small_ps):
+        d0 = delta_full(small_ps, 3, 2, q=0)
+        d1 = delta_full(small_ps, 3, 2, q=1)
+        assert d1 - d0 == pytest.approx(1 / (2 * 3))
+        assert d0 == pytest.approx(delta_static(small_ps, 3, 2))
+
+    def test_delta_full_rank_range(self, small_ps):
+        with pytest.raises(ValueError):
+            delta_full(small_ps, 3, 2, q=2)  # b_3 = 2
+        with pytest.raises(ValueError):
+            delta_full(small_ps, 3, 2, q=-1)
+
+    def test_connection_list_order(self, small_ps):
+        assert connection_list(small_ps, 3, [4, 1]) == [1, 4]
+        assert connection_list(small_ps, 3, [4, 2, 1]) == [1, 2, 4]
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("b,ell", [(1, 1), (1, 5), (2, 5), (3, 7), (4, 4), (10, 30)])
+    def test_worst_case_closed_forms(self, b, ell):
+        s_static, s_dynamic = lemma1_worst_case(b, ell)
+        assert s_static == pytest.approx((b + 1) / (2 * ell))
+        assert s_dynamic == pytest.approx((b - 1) / (2 * ell))
+        ratio = s_static / (s_static + s_dynamic)
+        assert ratio == pytest.approx(lemma1_bound(b))
+
+    def test_bound_decreasing_in_b(self):
+        bounds = [lemma1_bound(b) for b in range(1, 10)]
+        assert bounds == sorted(bounds, reverse=True)
+        assert bounds[0] == pytest.approx(1.0)
+        assert math.isclose(lemma1_bound(10**6), 0.5, rel_tol=1e-5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            lemma1_worst_case(3, 2)
+        with pytest.raises(ValueError):
+            lemma1_bound(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(preference_systems())
+def test_properties_on_greedy_matchings(ps):
+    """Satisfaction identities on the LIC matching of random instances."""
+    matching, wt = solve_modified_bmatching(ps)
+    matching.validate(ps)
+    total_static = 0.0
+    for i in ps.nodes():
+        conns = matching.connections(i)
+        s = full_satisfaction(ps, i, conns)
+        # range (eq. 1 analysis)
+        assert -1e-12 <= s <= 1.0 + 1e-12
+        # decomposition S = S^s + S^d  (eq. 7)
+        s_static, s_dynamic = static_dynamic_split(ps, i, conns)
+        assert s == pytest.approx(s_static + s_dynamic)
+        assert s_static == pytest.approx(static_satisfaction(ps, i, conns))
+        # S = Σ ΔS with final connection ranks (eq. 4 / eq. 1 derivation)
+        ordered = connection_list(ps, i, conns)
+        if ordered:
+            recomposed = sum(delta_full(ps, i, j, q) for q, j in enumerate(ordered))
+            assert s == pytest.approx(recomposed)
+        # Lemma 1 per-node: static part is at least ½(1+1/b) of the total
+        if s > 0:
+            assert s_static / s >= lemma1_bound(ps.quota(i)) - 1e-9
+        total_static += s_static
+    # eq. 9 consistency: Σ_i S̄_i == total matched weight
+    assert total_static == pytest.approx(matching.total_weight(wt))

@@ -1,0 +1,68 @@
+"""Tests for the future-work variants (paper §7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.lic import lic_matching
+from repro.core.variants import alpha_weight_table, two_phase_lid
+from repro.core.weights import satisfaction_weights
+
+from tests.conftest import preference_systems, random_ps
+
+
+class TestTwoPhase:
+    @settings(max_examples=25, deadline=None)
+    @given(preference_systems())
+    def test_always_feasible(self, ps):
+        m = two_phase_lid(ps, top_fraction=0.5)
+        m.validate(ps)
+
+    def test_full_fraction_close_to_plain(self):
+        ps = random_ps(20, 0.4, 3, seed=2, ensure_edges=True)
+        plain = lic_matching(satisfaction_weights(ps), ps.quotas)
+        tp = two_phase_lid(ps, top_fraction=1.0)
+        # with top_fraction=1 phase 1 already sees the whole graph
+        assert tp.total_satisfaction(ps) >= 0.9 * plain.total_satisfaction(ps)
+
+    def test_invalid_fraction(self, small_ps):
+        with pytest.raises(ValueError):
+            two_phase_lid(small_ps, top_fraction=0.0)
+        with pytest.raises(ValueError):
+            two_phase_lid(small_ps, top_fraction=1.5)
+
+    def test_lifts_min_satisfaction_sometimes(self):
+        """On contention-heavy instances the reservation phase should not
+        collapse; sanity: it produces a maximal-ish matching with
+        comparable total satisfaction (within a factor 2)."""
+        ps = random_ps(30, 0.3, 2, seed=5, ensure_edges=True)
+        plain = lic_matching(satisfaction_weights(ps), ps.quotas)
+        tp = two_phase_lid(ps, top_fraction=0.5)
+        assert tp.total_satisfaction(ps) >= 0.5 * plain.total_satisfaction(ps)
+
+
+class TestAlphaWeights:
+    def test_alpha_one_recovers_eq9(self, small_ps):
+        base = satisfaction_weights(small_ps)
+        alt = alpha_weight_table(small_ps, alpha=1.0)
+        for i, j in small_ps.edges():
+            assert alt.weight(i, j) == pytest.approx(base.weight(i, j))
+
+    def test_alpha_changes_weights(self, small_ps):
+        alt = alpha_weight_table(small_ps, alpha=3.0)
+        base = satisfaction_weights(small_ps)
+        diffs = [
+            abs(alt.weight(i, j) - base.weight(i, j)) for i, j in small_ps.edges()
+        ]
+        assert max(diffs) > 0
+
+    def test_invalid_alpha(self, small_ps):
+        with pytest.raises(ValueError):
+            alpha_weight_table(small_ps, alpha=0.0)
+
+    def test_matchings_feasible_for_all_alpha(self):
+        ps = random_ps(15, 0.4, 2, seed=3, ensure_edges=True)
+        for alpha in (0.5, 1.0, 2.0, 4.0):
+            wt = alpha_weight_table(ps, alpha)
+            m = lic_matching(wt, ps.quotas)
+            m.validate(ps)

@@ -1,0 +1,92 @@
+"""Unit and property tests for eq.-9 weight tables."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.preferences import PreferenceSystem
+from repro.core.satisfaction import delta_static
+from repro.core.weights import WeightTable, edge_key, satisfaction_weights
+from repro.utils.validation import InvalidInstanceError
+
+from tests.conftest import preference_systems
+
+
+class TestWeightTable:
+    def test_symmetry_and_lookup(self):
+        wt = WeightTable({(0, 1): 2.0, (1, 2): 1.0}, 3)
+        assert wt.weight(0, 1) == wt.weight(1, 0) == 2.0
+        assert wt.m == 2 and wt.n == 3
+        assert wt.has_edge(2, 1) and not wt.has_edge(0, 2)
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(InvalidInstanceError, match="self-loop"):
+            WeightTable({(1, 1): 1.0}, 3)
+        with pytest.raises(InvalidInstanceError, match="outside"):
+            WeightTable({(0, 5): 1.0}, 3)
+        with pytest.raises(InvalidInstanceError, match="non-positive"):
+            WeightTable({(0, 1): 0.0}, 3)
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            WeightTable.from_edge_weights([(0, 1, 1.0), (1, 0, 2.0)], 2)
+
+    def test_key_total_order_breaks_ties(self):
+        wt = WeightTable({(0, 1): 1.0, (0, 2): 1.0, (1, 2): 1.0}, 3)
+        keys = [wt.key(0, 1), wt.key(0, 2), wt.key(1, 2)]
+        assert len(set(keys)) == 3  # strict order despite equal weights
+        assert sorted(keys) == [(1.0, 0, 1), (1.0, 0, 2), (1.0, 1, 2)]
+
+    def test_sorted_edges_descending(self):
+        wt = WeightTable({(0, 1): 1.0, (1, 2): 3.0, (0, 2): 2.0}, 3)
+        assert wt.sorted_edges() == [(1, 2), (0, 2), (0, 1)]
+
+    def test_weight_list_order(self):
+        wt = WeightTable({(0, 1): 1.0, (0, 2): 3.0, (0, 3): 2.0}, 4)
+        assert wt.weight_list(0) == [2, 3, 1]
+        assert wt.weight_list(1) == [0]
+
+    def test_prefers(self):
+        wt = WeightTable({(0, 1): 1.0, (0, 2): 3.0}, 3)
+        assert wt.prefers(0, 2, 1)
+        assert not wt.prefers(0, 1, 2)
+
+    def test_total_weight(self):
+        wt = WeightTable({(0, 1): 1.5, (1, 2): 2.5}, 3)
+        assert wt.total_weight([(0, 1), (2, 1)]) == pytest.approx(4.0)
+
+    def test_edge_key_helper(self):
+        assert edge_key(2.0, 5, 3) == (2.0, 3, 5)
+
+
+class TestSatisfactionWeights:
+    def test_matches_eq9(self, small_ps):
+        wt = satisfaction_weights(small_ps)
+        for i, j in small_ps.edges():
+            expected = delta_static(small_ps, i, j) + delta_static(small_ps, j, i)
+            assert wt.weight(i, j) == pytest.approx(expected)
+
+    def test_exact_mode_agrees(self, small_ps):
+        wt_f = satisfaction_weights(small_ps, exact=False)
+        wt_e = satisfaction_weights(small_ps, exact=True)
+        for i, j in small_ps.edges():
+            assert wt_f.weight(i, j) == pytest.approx(wt_e.weight(i, j), abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(preference_systems())
+    def test_weights_positive_and_bounded(self, ps):
+        wt = satisfaction_weights(ps)
+        for (i, j), w in wt.items():
+            assert w > 0.0
+            # each side contributes at most 1/b_v
+            assert w <= 1.0 / ps.quota(i) + 1.0 / ps.quota(j) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(preference_systems())
+    def test_top_rank_heaviest_side(self, ps):
+        """A node's eq.-9 contribution is monotone in its own ranking."""
+        wt = satisfaction_weights(ps)
+        for i in ps.nodes():
+            lst = ps.preference_list(i)
+            contribs = [delta_static(ps, i, j) for j in lst]
+            assert contribs == sorted(contribs, reverse=True)
+            # wholly determined by rank: strict decrease
+            assert all(a > b for a, b in zip(contribs, contribs[1:]))
+        assert wt.m == ps.m

@@ -1,0 +1,74 @@
+"""Tests for the bandwidth / serialisation queueing model."""
+
+import pytest
+
+from repro.core.lid import run_lid
+from repro.core.lic import lic_matching
+from repro.core.weights import satisfaction_weights
+from repro.distsim.network import Network
+
+from tests.conftest import random_ps
+
+
+class TestSerialisation:
+    def test_burst_stretches_out(self):
+        net = Network(2, bandwidth=1.0, msg_size=1.0)
+        times = [net.transmit(0.0, 0, 1, "X", None)[0] for _ in range(4)]
+        # each message occupies the channel for 1 unit, then 1 unit latency
+        assert times == [2.0, 3.0, 4.0, 5.0]
+
+    def test_channels_independent(self):
+        net = Network(3, bandwidth=1.0)
+        t01 = net.transmit(0.0, 0, 1, "X", None)[0]
+        t02 = net.transmit(0.0, 0, 2, "X", None)[0]
+        assert t01 == t02 == 2.0  # different channels, no queueing
+
+    def test_size_function_per_kind(self):
+        sizes = {"BIG": 10.0, "SMALL": 1.0}
+        net = Network(2, bandwidth=1.0, msg_size=lambda m: sizes[m.kind])
+        t_big = net.transmit(0.0, 0, 1, "BIG", None)[0]
+        t_small = net.transmit(0.0, 1, 0, "SMALL", None)[0]
+        assert t_big == pytest.approx(11.0)
+        assert t_small == pytest.approx(2.0)
+
+    def test_idle_channel_recovers(self):
+        net = Network(2, bandwidth=1.0)
+        net.transmit(0.0, 0, 1, "X", None)
+        # channel idle again by t=5: no residual queueing
+        t = net.transmit(5.0, 0, 1, "X", None)[0]
+        assert t == pytest.approx(7.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Network(2, bandwidth=0.0)
+
+    def test_no_bandwidth_means_no_queueing(self):
+        net = Network(2)
+        times = [net.transmit(0.0, 0, 1, "X", None)[0] for _ in range(3)]
+        # FIFO nudges by epsilon only; all essentially at t=1
+        assert all(abs(t - 1.0) < 1e-6 for t in times)
+
+
+class TestLidUnderBandwidth:
+    def test_matching_unchanged_time_stretched(self):
+        """Queueing slows virtual time but cannot change the outcome."""
+        ps = random_ps(20, 0.3, 2, seed=6, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        reference = lic_matching(wt, ps.quotas).edge_set()
+
+        fast = run_lid(wt, ps.quotas)
+
+        from repro.core.lid import LidNode
+        from repro.distsim.scheduler import Simulator
+
+        nodes = [LidNode(wt.weight_list(i), ps.quota(i)) for i in range(ps.n)]
+        net = Network(ps.n, links=wt.edges(), bandwidth=0.5, seed=0)
+        sim = Simulator(net, nodes)
+        sim.run()
+        locked = frozenset(
+            (min(i, j), max(i, j))
+            for i, node in enumerate(nodes)
+            for j in node.locked
+        )
+        assert locked == reference
+        assert sim.metrics.end_time > fast.metrics.end_time

@@ -1,0 +1,75 @@
+"""Tests for causal-depth (exact async round) tracking."""
+
+import pytest
+
+from repro.core.lid import run_lid
+from repro.core.weights import satisfaction_weights
+from repro.distsim import ExponentialLatency, Network, ProtocolNode, Simulator
+
+from tests.conftest import random_ps
+
+
+class Relay(ProtocolNode):
+    """Node 0 starts a token that hops down the line."""
+
+    def on_start(self):
+        if self.node_id == 0:
+            self.send(1, "TOKEN")
+
+    def on_message(self, src, kind, payload):
+        nxt = self.node_id + 1
+        if nxt < len(self.sim.nodes):
+            self.send(nxt, "TOKEN")
+
+
+class TestCausalDepth:
+    def test_relay_chain_depth(self):
+        n = 6
+        sim = Simulator(Network(n), [Relay() for _ in range(n)])
+        sim.run()
+        # token hops 0->1->...->5: five messages, depths 1..5
+        assert sim.metrics.max_depth == 5
+
+    def test_parallel_fanout_depth_one(self):
+        class Fan(ProtocolNode):
+            def on_start(self):
+                if self.node_id == 0:
+                    for dst in range(1, 4):
+                        self.send(dst, "X")
+
+        sim = Simulator(Network(4), [Fan() for _ in range(4)])
+        sim.run()
+        assert sim.metrics.max_depth == 1  # all in one round
+
+    def test_timer_preserves_depth(self):
+        class Delayed(ProtocolNode):
+            def on_start(self):
+                if self.node_id == 0:
+                    self.send(1, "X")
+
+            def on_message(self, src, kind, payload):
+                if self.node_id == 1 and kind == "X":
+                    self.set_timer(5.0, None)
+
+            def on_timer(self, tag):
+                self.send(0, "Y")  # causally after X: depth 2
+
+        sim = Simulator(Network(2), [Delayed(), Delayed()])
+        sim.run()
+        assert sim.metrics.max_depth == 2
+
+    def test_lid_causal_rounds_schedule_invariant(self):
+        """Causal depth is a schedule-independent protocol property of
+        the *message content*, unlike virtual time."""
+        ps = random_ps(20, 0.3, 2, seed=3, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        sync = run_lid(wt, ps.quotas)
+        assert sync.causal_rounds >= 1
+        # under unit latency, virtual time == causal depth
+        assert sync.rounds == pytest.approx(sync.causal_rounds)
+        # under random latency virtual time changes but messages do not
+        async_run = run_lid(
+            wt, ps.quotas, latency=ExponentialLatency(2.0), fifo=False, seed=5
+        )
+        assert async_run.matching.edge_set() == sync.matching.edge_set()
+        assert async_run.causal_rounds <= 4 * sync.causal_rounds

@@ -1,0 +1,83 @@
+"""Tests for failure injection adapters."""
+
+import numpy as np
+import pytest
+
+from repro.core.lid import LidNode, run_lid
+from repro.core.weights import satisfaction_weights
+from repro.distsim.failures import BernoulliLoss, CrashSchedule, make_byzantine
+from repro.distsim.messages import Message
+from repro.distsim.network import Network
+from repro.distsim.scheduler import Simulator
+
+from tests.conftest import random_ps
+
+
+class TestBernoulliLoss:
+    def test_victim_scoping(self):
+        rng = np.random.default_rng(0)
+        loss = BernoulliLoss(1.0, victims=[3])
+        assert loss(Message(src=3, dst=1, kind="X"), rng)
+        assert loss(Message(src=0, dst=3, kind="X"), rng)
+        assert not loss(Message(src=0, dst=1, kind="X"), rng)
+
+    def test_unscoped_hits_everything(self):
+        rng = np.random.default_rng(0)
+        loss = BernoulliLoss(1.0)
+        assert loss(Message(src=0, dst=1, kind="X"), rng)
+
+    def test_validates_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+
+
+class TestCrashSchedule:
+    def test_crashes_at_times(self):
+        from repro.distsim.node import ProtocolNode
+
+        class Idle(ProtocolNode):
+            def on_start(self):
+                self.set_timer(20.0, None)
+
+        nodes = [Idle(), Idle()]
+        sim = Simulator(Network(2), nodes)
+        CrashSchedule([(5.0, 1)]).install(sim)
+        sim.run()
+        assert nodes[1].crashed and not nodes[0].crashed
+
+
+class TestByzantine:
+    def _instance(self):
+        ps = random_ps(12, 0.5, 2, seed=4, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        return ps, wt
+
+    def test_reject_all_node_stays_unmatched(self):
+        ps, wt = self._instance()
+        victim = 0
+        nodes = [LidNode(wt.weight_list(i), ps.quota(i)) for i in range(ps.n)]
+        make_byzantine(nodes[victim], "reject_all")
+        net = Network(ps.n, links=wt.edges(), seed=0)
+        sim = Simulator(net, nodes)
+        sim.run()
+        # honest nodes all finish; the byzantine node locks nothing
+        for i, node in enumerate(nodes):
+            if i != victim:
+                assert node.finished
+                assert victim not in node.locked
+
+    def test_honest_quota_never_violated_under_accept_all(self):
+        ps, wt = self._instance()
+        victim = 1
+        nodes = [LidNode(wt.weight_list(i), ps.quota(i)) for i in range(ps.n)]
+        make_byzantine(nodes[victim], "accept_all")
+        net = Network(ps.n, links=wt.edges(), seed=0)
+        sim = Simulator(net, nodes)
+        sim.run(max_events=20_000)
+        for i, node in enumerate(nodes):
+            if i != victim:
+                assert len(node.locked) <= ps.quota(i)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown byzantine"):
+            make_byzantine(LidNode([], 1), "weird")

@@ -1,0 +1,107 @@
+"""Tests for channels, latency models, FIFO and link enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.distsim.messages import Message
+from repro.distsim.network import (
+    ConstantLatency,
+    ExponentialLatency,
+    Network,
+    UniformLatency,
+    bernoulli_drop,
+)
+
+
+def _msg(src=0, dst=1):
+    return Message(src=src, dst=dst, kind="X")
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        model = ConstantLatency(2.5)
+        assert model(_msg(), rng) == 2.5
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0)
+
+    def test_uniform_range(self):
+        rng = np.random.default_rng(0)
+        model = UniformLatency(1.0, 3.0)
+        samples = [model(_msg(), rng) for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+
+    def test_exponential_positive_with_floor(self):
+        rng = np.random.default_rng(0)
+        model = ExponentialLatency(1.0, eps=0.5)
+        samples = [model(_msg(), rng) for _ in range(200)]
+        assert all(s >= 0.5 for s in samples)
+        with pytest.raises(ValueError):
+            ExponentialLatency(-1.0)
+
+
+class TestNetwork:
+    def test_transmit_assigns_seq_and_time(self):
+        net = Network(2)
+        t, msg = net.transmit(0.0, 0, 1, "X", None)
+        assert t == 1.0 and msg.seq == 1
+        t2, msg2 = net.transmit(0.0, 0, 1, "X", None)
+        assert msg2.seq == 2
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Network(2).transmit(0.0, 1, 1, "X", None)
+
+    def test_fifo_clamps_delivery_order(self):
+        net = Network(2, latency=UniformLatency(0.1, 5.0), fifo=True, seed=3)
+        times = [net.transmit(0.0, 0, 1, "X", None)[0] for _ in range(50)]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)  # strictly increasing
+
+    def test_non_fifo_can_reorder(self):
+        net = Network(2, latency=UniformLatency(0.1, 5.0), fifo=False, seed=3)
+        times = [net.transmit(0.0, 0, 1, "X", None)[0] for _ in range(50)]
+        assert times != sorted(times)
+
+    def test_link_enforcement(self):
+        net = Network(3, links=[(0, 1)])
+        net.transmit(0.0, 1, 0, "X", None)  # allowed both directions
+        with pytest.raises(ValueError, match="local-only"):
+            net.transmit(0.0, 0, 2, "X", None)
+
+    def test_add_remove_link(self):
+        net = Network(3, links=[(0, 1)])
+        net.add_link(1, 2)
+        assert net.allows(2, 1)
+        net.remove_link(2, 1)
+        assert not net.allows(1, 2)
+
+    def test_unrestricted_network_allows_all(self):
+        net = Network(3)
+        assert net.allows(0, 2)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            Network(0)
+
+
+class TestLoss:
+    def test_bernoulli_drop_rate(self):
+        net = Network(2, drop_filter=bernoulli_drop(0.5), seed=42)
+        outcomes = [net.transmit(0.0, 0, 1, "X", None) for _ in range(400)]
+        dropped = sum(1 for o in outcomes if o is None)
+        assert 120 < dropped < 280  # ~200 expected
+        assert net.dropped == dropped
+        assert net.sent == 400
+
+    def test_drop_probability_validated(self):
+        with pytest.raises(ValueError):
+            bernoulli_drop(1.5)
+
+    def test_no_filter_never_drops(self):
+        net = Network(2, seed=1)
+        assert all(
+            net.transmit(0.0, 0, 1, "X", None) is not None for _ in range(100)
+        )

@@ -1,0 +1,226 @@
+"""Tests for the discrete-event engine: ordering, determinism, safety."""
+
+import pytest
+
+from repro.distsim import ConstantLatency, Network, ProtocolNode, Simulator, Trace
+from repro.utils.validation import ProtocolError
+
+
+class Echo(ProtocolNode):
+    """Replies PONG to every PING; node 0 starts one exchange per peer."""
+
+    def __init__(self, fanout=0):
+        super().__init__()
+        self.fanout = fanout
+        self.got: list[tuple[int, str]] = []
+
+    def on_start(self):
+        for dst in range(1, self.fanout + 1):
+            self.send(dst, "PING")
+
+    def on_message(self, src, kind, payload):
+        self.got.append((src, kind))
+        if kind == "PING":
+            self.send(src, "PONG")
+
+
+class TestBasics:
+    def test_ping_pong(self):
+        net = Network(3)
+        nodes = [Echo(fanout=2), Echo(), Echo()]
+        sim = Simulator(net, nodes)
+        metrics = sim.run()
+        assert metrics.sent_by_kind["PING"] == 2
+        assert metrics.sent_by_kind["PONG"] == 2
+        assert nodes[0].got == [(1, "PONG"), (2, "PONG")]
+        assert metrics.end_time == pytest.approx(2.0)  # two unit hops
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ValueError, match="nodes"):
+            Simulator(Network(1), [Echo(), Echo()])
+
+    def test_fewer_nodes_is_join_headroom(self):
+        sim = Simulator(Network(3), [Echo(), Echo()])
+        sim.run()  # quiesces immediately, no error
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator(Network(1), [Echo()])
+        sim.start()
+        assert sim.step() is False
+
+    def test_metrics_accounting(self):
+        net = Network(2)
+        nodes = [Echo(fanout=1), Echo()]
+        sim = Simulator(net, nodes)
+        m = sim.run()
+        assert m.total_sent == m.total_delivered == 2
+        assert m.events == 2
+        assert m.sent_by_node[0] == 1 and m.sent_by_node[1] == 1
+        assert m.max_node_load() == 2
+        assert m.summary()["sent"] == 2
+
+
+class TestDeterminism:
+    def test_identical_traces_same_seed(self):
+        def run_once():
+            trace = Trace()
+            net = Network(4, seed=99)
+            nodes = [Echo(fanout=3), Echo(), Echo(), Echo()]
+            sim = Simulator(net, nodes, trace=trace)
+            sim.run()
+            return [(r.time, r.what, r.node, r.peer, r.kind) for r in trace]
+
+        assert run_once() == run_once()
+
+    def test_simultaneous_events_fifo_by_insertion(self):
+        # node 0 pings 1,2,3 simultaneously; deliveries process in send order
+        trace = Trace()
+        net = Network(4)
+        sim = Simulator(net, [Echo(fanout=3), Echo(), Echo(), Echo()], trace=trace)
+        sim.run()
+        delivered = [r.node for r in trace.filter(what="deliver", kind="PING")]
+        assert delivered == [1, 2, 3]
+
+
+class TestTimers:
+    def test_timer_fires_with_tag(self):
+        class Timed(ProtocolNode):
+            def __init__(self):
+                super().__init__()
+                self.fired = []
+
+            def on_start(self):
+                self.set_timer(2.0, "b")
+                self.set_timer(1.0, "a")
+
+            def on_timer(self, tag):
+                self.fired.append((self.now, tag))
+
+        node = Timed()
+        Simulator(Network(1), [node]).run()
+        assert node.fired == [(1.0, "a"), (2.0, "b")]
+
+    def test_nonpositive_timer_rejected(self):
+        class Bad(ProtocolNode):
+            def on_start(self):
+                self.set_timer(0.0, "x")
+
+        with pytest.raises(ValueError, match="positive"):
+            Simulator(Network(1), [Bad()]).run()
+
+
+class TestSafetyValves:
+    def test_infinite_protocol_aborts(self):
+        class Storm(ProtocolNode):
+            def on_start(self):
+                if self.node_id == 0:
+                    self.send(1, "X")
+
+            def on_message(self, src, kind, payload):
+                self.send(src, "X")  # eternal ping-pong
+
+        sim = Simulator(Network(2), [Storm(), Storm()])
+        with pytest.raises(ProtocolError, match="exceeded"):
+            sim.run(max_events=50)
+
+    def test_max_time_horizon_stops_cleanly(self):
+        class Slow(ProtocolNode):
+            def on_start(self):
+                self.set_timer(100.0, None)
+
+        sim = Simulator(Network(1), [Slow()])
+        sim.run(max_time=5.0)
+        assert sim.pending_events() == 1  # timer still queued, no error
+
+
+class TestTerminationSemantics:
+    def test_terminated_node_drops_messages(self):
+        class OneShot(ProtocolNode):
+            def on_start(self):
+                if self.node_id == 1:
+                    self.terminate()
+                else:
+                    self.send(1, "X")
+
+        net = Network(2)
+        sim = Simulator(net, [OneShot(), OneShot()])
+        sim.run()
+        assert sim.late_messages == 1
+        assert sim.metrics.total_delivered == 0
+
+    def test_all_terminated_flag(self):
+        class Quit(ProtocolNode):
+            def on_start(self):
+                self.terminate()
+
+        sim = Simulator(Network(2), [Quit(), Quit()])
+        sim.run()
+        assert sim.all_terminated
+
+    def test_crash_blocks_send_and_receive(self):
+        class Chatter(ProtocolNode):
+            def __init__(self):
+                super().__init__()
+                self.received = 0
+
+            def on_start(self):
+                if self.node_id == 0:
+                    self.send(1, "X")
+
+            def on_message(self, src, kind, payload):
+                self.received += 1
+
+        nodes = [Chatter(), Chatter()]
+        sim = Simulator(Network(2), nodes)
+        sim.crash(1)
+        sim.run()
+        assert nodes[1].received == 0
+
+    def test_control_events(self):
+        class Idle(ProtocolNode):
+            def on_start(self):
+                self.set_timer(10.0, None)
+
+        hits = []
+        sim = Simulator(Network(1), [Idle()])
+        sim.schedule_control(5.0, lambda s: hits.append(s.now))
+        sim.run()
+        assert hits == [5.0]
+
+    def test_control_in_past_rejected(self):
+        sim = Simulator(Network(1), [Echo()])
+        sim.now = 10.0
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_control(1.0, lambda s: None)
+
+
+class TestDynamicNodes:
+    def test_add_node_mid_run(self):
+        class Greeter(ProtocolNode):
+            def __init__(self):
+                super().__init__()
+                self.greeted = []
+
+            def on_start(self):
+                if self.node_id >= 1:
+                    self.send(0, "HELLO")
+
+            def on_message(self, src, kind, payload):
+                self.greeted.append(src)
+
+        base = Greeter()
+        net = Network(3)
+        sim = Simulator(net, [base, Greeter()])
+
+        def join(s):
+            s.add_node(Greeter())
+
+        sim.schedule_control(2.0, join)
+        sim.run()
+        assert base.greeted == [1, 2]
+
+    def test_add_node_requires_network_capacity(self):
+        sim = Simulator(Network(1), [Echo()])
+        sim.start()
+        with pytest.raises(ValueError, match="grow network"):
+            sim.add_node(Echo())

@@ -1,0 +1,43 @@
+"""Tests for trace recording and querying."""
+
+from repro.distsim.messages import Message
+from repro.distsim.tracing import Trace, TraceRecord
+
+
+class TestTrace:
+    def test_log_and_len(self):
+        t = Trace()
+        t.log(0.0, "send", 0, 1, "PROP")
+        t.log(1.0, "deliver", 1, 0, "PROP")
+        assert len(t) == 2
+        assert list(t)[0] == TraceRecord(0.0, "send", 0, 1, "PROP", None)
+
+    def test_filter_combinations(self):
+        t = Trace()
+        t.log(0.0, "send", 0, 1, "PROP")
+        t.log(0.0, "send", 0, 2, "REJ")
+        t.log(1.0, "send", 1, 0, "PROP")
+        t.log(1.0, "deliver", 1, 0, "PROP")
+        assert len(list(t.filter(what="send"))) == 3
+        assert len(list(t.filter(what="send", node=0))) == 2
+        assert len(list(t.filter(what="send", node=0, kind="REJ"))) == 1
+
+    def test_sends_from_in_order(self):
+        t = Trace()
+        t.log(0.0, "send", 0, 2, "PROP")
+        t.log(5.0, "send", 0, 3, "PROP")
+        t.log(2.0, "deliver", 0, 9, "PROP")
+        recs = t.sends_from(0, kind="PROP")
+        assert [r.peer for r in recs] == [2, 3]
+
+
+class TestMessage:
+    def test_frozen_fields(self):
+        m = Message(src=1, dst=2, kind="PROP", payload={"a": 1}, seq=7)
+        assert (m.src, m.dst, m.kind, m.seq) == (1, 2, "PROP", 7)
+        assert m.payload == {"a": 1}
+
+    def test_payload_not_compared(self):
+        a = Message(src=1, dst=2, kind="X", payload="p1", seq=3)
+        b = Message(src=1, dst=2, kind="X", payload="p2", seq=3)
+        assert a == b

@@ -1,0 +1,100 @@
+"""Tests for the CLI (direct main() calls + one subprocess smoke test)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario", "file_sharing"])
+        assert args.n == 60 and args.seed == 0
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "nope"])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "zz"])
+
+
+class TestCommands:
+    def test_scenario(self, capsys):
+        assert main(["scenario", "geo_latency", "--n", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "total satisfaction" in out and "messages" in out
+
+    def test_compare_with_exact(self, capsys):
+        assert main(["compare", "heterogeneous", "--n", "20", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "LID" in out and "OPT" in out and "random" in out
+
+    @pytest.mark.parametrize("exp", ["t1", "t2", "t4", "f4"])
+    def test_experiments(self, exp, capsys):
+        assert main(["experiment", exp, "--n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert exp.upper() in out
+
+    def test_churn(self, capsys):
+        assert main(["churn", "--n", "25", "--events", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "churn events" in out and "satisfaction" in out
+
+
+def test_module_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "scenario", "interest_social", "--n", "20"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "total satisfaction" in proc.stdout
+
+
+class TestNewCommands:
+    def test_discover(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["discover", "--n", "20", "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "discovery" in out and "matching" in out
+
+    def test_experiment_f6(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["experiment", "f6", "--n", "16"]) == 0
+        assert "F6" in capsys.readouterr().out
+
+
+class TestRegistry:
+    def test_list_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "t1" in out and "f6" in out and "p2" in out
+
+    def test_registry_lookup(self):
+        from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+        assert get_experiment("T3").bench.endswith("bench_t3_equivalence.py")
+        with pytest.raises(KeyError):
+            get_experiment("zz")
+        assert len({e.id for e in EXPERIMENTS}) == len(EXPERIMENTS)
+
+    def test_registry_matches_bench_files(self):
+        from pathlib import Path
+        from repro.experiments.registry import EXPERIMENTS
+
+        root = Path(__file__).parents[2]
+        for e in EXPERIMENTS:
+            assert (root / e.bench).exists(), e.bench

@@ -1,0 +1,121 @@
+"""Integration tests: the paper's theorems measured end-to-end.
+
+Each test runs the full pipeline (overlay → preferences → weights →
+algorithm → certificates → exact optimum) on moderate instances and
+asserts the theorem-level guarantees — the same checks the benchmark
+harness reports as tables, here in pass/fail form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    max_satisfaction_bmatching_milp,
+    max_weight_bmatching_milp,
+)
+from repro.core import (
+    greedy_certificate,
+    lic_matching,
+    run_lid,
+    satisfaction_weights,
+    solve_lid,
+    theorem2_bound,
+    theorem3_bound,
+)
+from repro.experiments import (
+    family_instance,
+    random_preference_instance,
+    random_weighted_instance,
+)
+from repro.overlay import SCENARIOS, build_scenario
+
+
+class TestTheorem2:
+    """LIC/LID weight ≥ ½ · optimal many-to-many matching weight."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_half_bound_random_weights(self, seed):
+        wt, quotas = random_weighted_instance(30, 0.25, seed=seed)
+        greedy = lic_matching(wt, quotas)
+        opt = max_weight_bmatching_milp(wt, quotas)
+        assert greedy.total_weight(wt) >= theorem2_bound() * opt.total_weight(wt) - 1e-9
+        assert greedy_certificate(wt, quotas, greedy)
+
+    @pytest.mark.parametrize("family", ["er", "ba", "ws"])
+    def test_half_bound_on_families(self, family):
+        ps = family_instance(family, 35, 3, seed=2)
+        wt = satisfaction_weights(ps)
+        greedy = lic_matching(wt, ps.quotas)
+        opt = max_weight_bmatching_milp(wt, ps.quotas)
+        assert greedy.total_weight(wt) >= 0.5 * opt.total_weight(wt) - 1e-9
+
+
+class TestTheorem3:
+    """LID satisfaction ≥ ¼(1+1/b_max) · optimal satisfaction."""
+
+    @pytest.mark.parametrize("b", [1, 2, 3, 5])
+    def test_bound_across_quotas(self, b):
+        ps = random_preference_instance(20, 0.35, b, seed=b)
+        result, _ = solve_lid(ps)
+        opt = max_satisfaction_bmatching_milp(ps)
+        lhs = result.matching.total_satisfaction(ps)
+        rhs = theorem3_bound(ps.b_max) * opt.total_satisfaction(ps)
+        assert lhs >= rhs - 1e-9
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_bound_on_scenarios(self, name):
+        sc = build_scenario(name, 25, seed=6)
+        result, _ = solve_lid(sc.ps)
+        opt = max_satisfaction_bmatching_milp(sc.ps)
+        bound = theorem3_bound(sc.ps.b_max)
+        assert (
+            result.matching.total_satisfaction(sc.ps)
+            >= bound * opt.total_satisfaction(sc.ps) - 1e-9
+        )
+
+
+class TestLemma5:
+    """LID terminates under any schedule, including cyclic preferences."""
+
+    def test_terminates_on_every_scenario(self):
+        from repro.distsim import ExponentialLatency
+
+        for name in sorted(SCENARIOS):
+            sc = build_scenario(name, 30, seed=1)
+            wt = satisfaction_weights(sc.ps)
+            res = run_lid(
+                wt, sc.ps.quotas, latency=ExponentialLatency(1.0), fifo=False
+            )
+            assert all(node.finished for node in res.nodes)
+
+
+class TestEndToEnd:
+    def test_full_pipeline_consistency(self):
+        """Overlay → LID → certified matching → accounting identities."""
+        sc = build_scenario("interest_social", 40, seed=9)
+        ps = sc.ps
+        result, wt = solve_lid(ps)
+        m = result.matching
+        m.validate(ps)
+        assert m.is_maximal(ps)
+        assert greedy_certificate(wt, list(ps.quotas), m)
+        # static satisfaction total equals matched weight (eq. 9)
+        assert m.total_satisfaction(ps, "static") == pytest.approx(
+            m.total_weight(wt)
+        )
+        # full = static + count term
+        count_term = sum(
+            m.degree(i) * (m.degree(i) - 1) / (2 * ps.quota(i) * ps.list_length(i))
+            for i in ps.nodes()
+            if ps.quota(i)
+        )
+        assert m.total_satisfaction(ps) == pytest.approx(
+            m.total_satisfaction(ps, "static") + count_term
+        )
+
+    def test_determinism_across_runs(self):
+        sc = build_scenario("geo_latency", 30, seed=3)
+        a, _ = solve_lid(sc.ps, seed=0)
+        b, _ = solve_lid(sc.ps, seed=0)
+        assert a.matching.edge_set() == b.matching.edge_set()
+        assert a.metrics.total_sent == b.metrics.total_sent

@@ -1,0 +1,109 @@
+"""Overlay structure metrics vs the networkx oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.lic import solve_modified_bmatching
+from repro.overlay.analysis import (
+    analyze_overlay,
+    average_path_length,
+    clustering_coefficient,
+    connected_components,
+    degree_stats,
+    largest_component_fraction,
+    matching_adjacency,
+)
+from repro.overlay.topology import erdos_renyi
+
+from tests.conftest import random_ps
+
+
+def _to_nx(adj):
+    G = nx.Graph()
+    G.add_nodes_from(range(len(adj)))
+    for i, neigh in enumerate(adj):
+        for j in neigh:
+            G.add_edge(i, j)
+    return G
+
+
+class TestComponents:
+    def test_simple(self):
+        adj = [[1], [0], [3], [2], []]
+        comps = connected_components(adj)
+        assert comps == [[0, 1], [2, 3], [4]]
+        assert largest_component_fraction(adj) == pytest.approx(0.4)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        topo = erdos_renyi(40, 0.05, np.random.default_rng(seed))
+        ours = {frozenset(c) for c in connected_components(topo.adjacency)}
+        theirs = {frozenset(c) for c in nx.connected_components(_to_nx(topo.adjacency))}
+        assert ours == theirs
+
+
+class TestClustering:
+    def test_triangle(self):
+        adj = [[1, 2], [0, 2], [0, 1]]
+        assert clustering_coefficient(adj) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        adj = [[1, 2, 3], [0], [0], [0]]
+        assert clustering_coefficient(adj) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        topo = erdos_renyi(30, 0.2, np.random.default_rng(seed))
+        ours = clustering_coefficient(topo.adjacency)
+        theirs = nx.average_clustering(_to_nx(topo.adjacency))
+        assert ours == pytest.approx(theirs)
+
+
+class TestPathLength:
+    def test_path_graph(self):
+        adj = [[1], [0, 2], [1, 3], [2]]
+        # exact mean over ordered pairs of the path P4
+        expected = nx.average_shortest_path_length(_to_nx(adj))
+        assert average_path_length(adj) == pytest.approx(expected)
+
+    def test_exact_matches_networkx_on_lcc(self):
+        topo = erdos_renyi(25, 0.15, np.random.default_rng(1))
+        comp = connected_components(topo.adjacency)[0]
+        G = _to_nx(topo.adjacency).subgraph(comp)
+        expected = nx.average_shortest_path_length(G)
+        assert average_path_length(topo.adjacency) == pytest.approx(expected)
+
+    def test_sampled_close_to_exact(self):
+        topo = erdos_renyi(60, 0.1, np.random.default_rng(2))
+        exact = average_path_length(topo.adjacency)
+        sampled = average_path_length(
+            topo.adjacency, sample=20, rng=np.random.default_rng(0)
+        )
+        assert abs(sampled - exact) < 0.5
+
+    def test_singleton(self):
+        assert average_path_length([[]]) == 0.0
+
+
+class TestAnalyze:
+    def test_full_fingerprint(self):
+        ps = random_ps(30, 0.3, 3, seed=4, ensure_edges=True)
+        matching, _ = solve_modified_bmatching(ps)
+        adj = matching_adjacency(matching)
+        fp = analyze_overlay(adj, path_sample=None)
+        assert fp.n == 30
+        assert fp.edges == matching.size()
+        assert 0.0 <= fp.largest_component_frac <= 1.0
+        assert fp.components >= 1
+        row = fp.as_row()
+        assert set(row) == {
+            "n", "edges", "mean_deg", "isolated", "lcc_frac", "components",
+            "clustering", "avg_path",
+        }
+
+    def test_degree_stats(self):
+        stats = degree_stats([[1], [0], []])
+        assert stats["mean"] == pytest.approx(2 / 3)
+        assert stats["max"] == 1
+        assert stats["isolated_frac"] == pytest.approx(1 / 3)

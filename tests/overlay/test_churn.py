@@ -1,0 +1,128 @@
+"""Tests for dynamic overlays and exact incremental repair."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import weighted_blocking_edges
+from repro.core.lic import lic_matching
+from repro.core.matching import Matching
+from repro.core.weights import WeightTable, satisfaction_weights
+from repro.overlay.churn import DynamicOverlay, greedy_repair
+from repro.overlay.metrics import DistanceMetric, PrivateTasteMetric
+from repro.overlay.peer import Peer, generate_peers
+from repro.overlay.scenario import build_scenario
+
+
+def _dyn(n=24, seed=3, metric=None):
+    sc = build_scenario("geo_latency", n, seed=seed)
+    return DynamicOverlay(sc.topology, sc.peers, metric or sc.metric)
+
+
+def _assert_is_greedy_fixpoint(dyn: DynamicOverlay):
+    ps, matching = dyn.instance()
+    wt = satisfaction_weights(ps)
+    full = lic_matching(wt, ps.quotas)
+    assert matching.edge_set() == full.edge_set()
+    assert weighted_blocking_edges(wt, list(ps.quotas), matching) == []
+
+
+class TestGreedyRepair:
+    def test_restores_fixpoint_from_scratch(self):
+        wt = WeightTable({(0, 1): 3.0, (1, 2): 2.0, (2, 3): 2.5}, 4)
+        m = Matching(4)
+        stats = greedy_repair(wt, [1, 1, 1, 1], m, dirty={0, 1, 2, 3})
+        assert m.edge_set() == lic_matching(wt, [1, 1, 1, 1]).edge_set()
+        assert stats.resolutions == m.size()
+
+    def test_swap_cascade(self):
+        # path where a leave at one end cascades swaps down the line
+        wt = WeightTable(
+            {(0, 1): 5.0, (1, 2): 4.0, (2, 3): 3.0, (3, 4): 2.0}, 5
+        )
+        m = Matching(5, [(1, 2), (3, 4)])  # fixpoint if node 0 absent
+        # node 0 appears: edge (0,1) becomes blocking
+        stats = greedy_repair(wt, [1, 1, 1, 1, 1], m, dirty={0, 1})
+        assert m.edge_set() == {(0, 1), (2, 3)}
+        assert stats.resolutions == 2  # add (0,1); swap (2,3) in
+
+
+class TestDynamicOverlay:
+    def test_initial_state_is_fixpoint(self):
+        dyn = _dyn()
+        _assert_is_greedy_fixpoint(dyn)
+
+    def test_leave_repair_equals_full_rerun(self):
+        dyn = _dyn()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            victim = int(rng.choice(dyn.active_ids()))
+            dyn.leave(victim)
+            _assert_is_greedy_fixpoint(dyn)
+
+    def test_join_repair_equals_full_rerun(self):
+        dyn = _dyn()
+        rng = np.random.default_rng(1)
+        for k in range(4):
+            ids = dyn.active_ids()
+            neigh = [int(x) for x in rng.choice(ids, size=min(5, len(ids)), replace=False)]
+            peer = Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=3)
+            pid, stats = dyn.join(peer, neigh)
+            assert pid in dyn.active_ids()
+            _assert_is_greedy_fixpoint(dyn)
+
+    def test_mixed_churn_session(self):
+        dyn = _dyn(n=20, seed=7)
+        rng = np.random.default_rng(2)
+        for step in range(10):
+            if rng.random() < 0.5 and dyn.n > 5:
+                dyn.leave(int(rng.choice(dyn.active_ids())))
+            else:
+                ids = dyn.active_ids()
+                neigh = [int(x) for x in rng.choice(ids, size=min(4, len(ids)), replace=False)]
+                dyn.join(Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=2), neigh)
+            _assert_is_greedy_fixpoint(dyn)
+
+    def test_private_metric_survives_compaction(self):
+        """A peer's preferences must not change when others leave."""
+        sc = build_scenario("heterogeneous", 15, seed=4)
+        dyn = DynamicOverlay(sc.topology, sc.peers, sc.metric)
+        dyn.leave(dyn.active_ids()[0])
+        _assert_is_greedy_fixpoint(dyn)
+
+    def test_leave_unknown_peer(self):
+        dyn = _dyn(n=10)
+        with pytest.raises(KeyError):
+            dyn.leave(999)
+
+    def test_join_unknown_neighbour(self):
+        dyn = _dyn(n=10)
+        with pytest.raises(KeyError, match="unknown neighbours"):
+            dyn.join(Peer(peer_id=-1, quota=2), [999])
+
+    def test_partner_symmetry(self):
+        dyn = _dyn()
+        for pid in dyn.active_ids():
+            for q in dyn.partners(pid):
+                assert pid in dyn.partners(q)
+
+    def test_repair_cheaper_than_scratch(self):
+        """The point of A3: incremental repair does less work than
+        recomputing with the same engine from scratch."""
+        dyn = _dyn(n=60, seed=5)
+        rng = np.random.default_rng(3)
+        incremental = scratch = 0
+        for _ in range(5):
+            stats = dyn.leave(int(rng.choice(dyn.active_ids())))
+            incremental += stats.edges_scanned
+            # same engine, empty start, everything dirty
+            ps, _ = dyn.instance()
+            wt = satisfaction_weights(ps)
+            from_scratch = greedy_repair(
+                wt, list(ps.quotas), Matching(ps.n), set(range(ps.n))
+            )
+            scratch += from_scratch.edges_scanned
+        assert incremental < scratch
+
+    def test_total_satisfaction_positive(self):
+        dyn = _dyn()
+        assert dyn.total_satisfaction() > 0

@@ -1,0 +1,74 @@
+"""Tests for the gossip peer-sampling discovery substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_lid
+from repro.overlay.analysis import largest_component_fraction
+from repro.overlay.builder import build_preference_system
+from repro.overlay.discovery import discover_knowledge_graph
+from repro.overlay.metrics import PrivateTasteMetric
+from repro.overlay.peer import generate_peers
+
+
+class TestDiscovery:
+    def test_basic_run(self):
+        res = discover_knowledge_graph(30, rounds=6, seed=1)
+        assert res.topology.n == 30
+        assert res.messages > 0
+        assert res.mean_knowledge > 2  # learned more than the bootstrap
+
+    def test_deterministic(self):
+        a = discover_knowledge_graph(20, rounds=5, seed=7)
+        b = discover_knowledge_graph(20, rounds=5, seed=7)
+        assert a.topology.edges() == b.topology.edges()
+        assert a.messages == b.messages
+
+    def test_seeds_differ(self):
+        a = discover_knowledge_graph(20, rounds=5, seed=1)
+        b = discover_knowledge_graph(20, rounds=5, seed=2)
+        assert a.topology.edges() != b.topology.edges()
+
+    def test_knowledge_grows_with_rounds(self):
+        few = discover_knowledge_graph(40, rounds=2, seed=3)
+        many = discover_knowledge_graph(40, rounds=12, seed=3)
+        assert many.mean_knowledge > few.mean_knowledge
+
+    def test_connected_knowledge_graph(self):
+        # the ring bootstrap alone is connected; gossip must keep it so
+        res = discover_knowledge_graph(40, rounds=8, seed=4)
+        assert largest_component_fraction(res.topology.adjacency) == 1.0
+
+    def test_cap_degree(self):
+        res = discover_knowledge_graph(30, rounds=8, seed=5, cap_degree=5)
+        # symmetrisation can push a node above its own cap, but the mean
+        # must stay near the cap
+        assert res.mean_knowledge <= 2 * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            discover_knowledge_graph(1)
+
+    def test_symmetry_and_simplicity(self):
+        res = discover_knowledge_graph(25, rounds=6, seed=6)
+        adj = res.topology.adjacency
+        for i, neigh in enumerate(adj):
+            assert i not in neigh
+            assert len(set(neigh)) == len(neigh)
+            for j in neigh:
+                assert i in adj[j]
+
+
+class TestEndToEndPipeline:
+    def test_discovery_to_matching(self):
+        """The full §1 pipeline: bootstrap → gossip → rank → LID."""
+        n = 35
+        res = discover_knowledge_graph(n, rounds=8, seed=9)
+        peers = generate_peers(n, np.random.default_rng(0))
+        ps = build_preference_system(
+            res.topology, peers, PrivateTasteMetric(seed=9)
+        )
+        result, _ = solve_lid(ps)
+        result.matching.validate(ps)
+        assert result.matching.size() > 0
+        assert all(node.finished for node in result.nodes)

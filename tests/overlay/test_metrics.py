@@ -1,0 +1,117 @@
+"""Tests for peer models and suitability metrics."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.metrics import (
+    BandwidthMetric,
+    CompositeMetric,
+    DistanceMetric,
+    InterestMetric,
+    MetricAssignment,
+    PrivateTasteMetric,
+    ReliabilityMetric,
+)
+from repro.overlay.peer import Peer, generate_peers
+
+
+def make_peer(pid, pos=(0, 0), interests=(1, 0), bw=1.0, rel=1.0):
+    return Peer(
+        peer_id=pid,
+        position=np.array(pos, dtype=float),
+        interests=np.array(interests, dtype=float),
+        bandwidth=bw,
+        reliability=rel,
+    )
+
+
+class TestPeer:
+    def test_generate_population(self):
+        peers = generate_peers(30, np.random.default_rng(0))
+        assert len(peers) == 30
+        assert all(2 <= p.quota <= 5 for p in peers)
+        assert all(p.bandwidth >= 1.0 for p in peers)
+        assert all(0.0 <= p.reliability <= 1.0 for p in peers)
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            Peer(peer_id=0, quota=0)
+
+    def test_generate_validation(self):
+        with pytest.raises(ValueError):
+            generate_peers(0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            generate_peers(5, np.random.default_rng(0), quota_range=(3, 2))
+
+
+class TestMetrics:
+    def test_distance_prefers_nearby(self):
+        a = make_peer(0, pos=(0, 0))
+        near = make_peer(1, pos=(0.1, 0))
+        far = make_peer(2, pos=(0.9, 0.9))
+        m = DistanceMetric()
+        assert m(a, near) > m(a, far)
+
+    def test_interest_cosine(self):
+        a = make_peer(0, interests=(1, 0))
+        same = make_peer(1, interests=(2, 0))
+        ortho = make_peer(2, interests=(0, 1))
+        m = InterestMetric()
+        assert m(a, same) == pytest.approx(1.0)
+        assert m(a, ortho) == pytest.approx(0.0)
+
+    def test_interest_zero_vector_safe(self):
+        a = make_peer(0, interests=(0, 0))
+        b = make_peer(1, interests=(1, 0))
+        assert InterestMetric()(a, b) == 0.0
+
+    def test_bandwidth_and_reliability_rank_candidate(self):
+        a = make_peer(0)
+        big = make_peer(1, bw=10.0, rel=0.2)
+        small = make_peer(2, bw=1.0, rel=0.9)
+        assert BandwidthMetric()(a, big) > BandwidthMetric()(a, small)
+        assert ReliabilityMetric()(a, small) > ReliabilityMetric()(a, big)
+
+    def test_composite_weighted_sum(self):
+        a = make_peer(0)
+        b = make_peer(1, bw=4.0, rel=0.5)
+        m = CompositeMetric([(0.5, BandwidthMetric()), (2.0, ReliabilityMetric())])
+        assert m(a, b) == pytest.approx(0.5 * 4.0 + 2.0 * 0.5)
+
+    def test_composite_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeMetric([])
+
+
+class TestPrivateTaste:
+    def test_deterministic_per_pair(self):
+        m = PrivateTasteMetric(seed=5)
+        a, b = make_peer(0), make_peer(1)
+        assert m(a, b) == m(a, b)
+
+    def test_asymmetric_across_direction(self):
+        m = PrivateTasteMetric(seed=5)
+        a, b = make_peer(0), make_peer(1)
+        assert m(a, b) != m(b, a)
+
+    def test_blend_requires_base(self):
+        with pytest.raises(ValueError):
+            PrivateTasteMetric(seed=1, blend=0.5)
+
+    def test_blend_mixes(self):
+        base = BandwidthMetric()
+        m = PrivateTasteMetric(seed=1, base=base, blend=0.0)
+        a, b = make_peer(0), make_peer(1, bw=7.0)
+        assert m(a, b) == pytest.approx(7.0)
+
+
+class TestMetricAssignment:
+    def test_override_and_default(self):
+        assign = MetricAssignment(
+            default=BandwidthMetric(), overrides={1: ReliabilityMetric()}
+        )
+        a0, a1 = make_peer(0), make_peer(1)
+        b = make_peer(2, bw=9.0, rel=0.1)
+        assert assign.score(a0, b) == pytest.approx(9.0)
+        assert assign.score(a1, b) == pytest.approx(0.1)
+        assert isinstance(assign.metric_for(5), BandwidthMetric)

@@ -1,0 +1,52 @@
+"""Round-trip tests for JSON serialisation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.lic import solve_modified_bmatching
+from repro.serialization import from_dict, load_json, save_json, to_dict
+
+from tests.conftest import preference_systems, weighted_instances
+
+
+class TestRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(preference_systems())
+    def test_preference_system(self, ps):
+        assert from_dict(to_dict(ps)) == ps
+
+    @settings(max_examples=30, deadline=None)
+    @given(weighted_instances())
+    def test_weight_table(self, inst):
+        wt, _ = inst
+        back = from_dict(to_dict(wt))
+        assert back.n == wt.n and back.m == wt.m
+        for i, j in wt.edges():
+            assert back.weight(i, j) == wt.weight(i, j)  # exact floats
+
+    @settings(max_examples=20, deadline=None)
+    @given(preference_systems())
+    def test_matching(self, ps):
+        matching, _ = solve_modified_bmatching(ps)
+        back = from_dict(to_dict(matching))
+        assert back == matching
+
+    def test_file_round_trip(self, tmp_path, small_ps):
+        p = tmp_path / "ps.json"
+        save_json(small_ps, p)
+        assert load_json(p) == small_ps
+
+    def test_self_describing_dispatch(self, small_ps):
+        matching, wt = solve_modified_bmatching(small_ps)
+        for obj in (small_ps, wt, matching):
+            assert type(from_dict(to_dict(obj))) is type(obj)
+
+
+class TestErrors:
+    def test_unknown_type_tag(self):
+        with pytest.raises(ValueError, match="unknown"):
+            from_dict({"type": "sandwich"})
+
+    def test_unserialisable_object(self):
+        with pytest.raises(TypeError):
+            to_dict(42)

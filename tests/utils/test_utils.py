@@ -1,0 +1,67 @@
+"""Tests for rng management and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_same_labels_same_stream(self):
+        a = spawn_rng(42, "x", "y").random(5)
+        b = spawn_rng(42, "x", "y").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = spawn_rng(42, "x").random(5)
+        b = spawn_rng(42, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(1, "x").random(5)
+        b = spawn_rng(2, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_none_seed_gives_entropy(self):
+        a = spawn_rng(None).random(3)
+        b = spawn_rng(None).random(3)
+        assert not np.array_equal(a, b)
+
+    def test_factory_make_many(self):
+        f = RngFactory(7)
+        gens = f.make_many("node", ["a", "b"])
+        assert set(gens) == {"a", "b"}
+        assert gens["a"].random() != gens["b"].random()
+
+    def test_factory_child_independent(self):
+        f = RngFactory(7)
+        c1, c2 = f.child("x"), f.child("y")
+        assert c1.seed != c2.seed
+        assert RngFactory(None).child("x").seed is None
+
+    def test_repr(self):
+        assert "7" in repr(RngFactory(7))
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ValueError):
+                check_positive_int(bad, "x")
+
+    def test_nonnegative_int(self):
+        assert check_nonnegative_int(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0, "p") == 0.0
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
