@@ -23,7 +23,6 @@ total weight within jitter noise; LID == LIC under both.
 
 from collections import Counter
 
-import pytest
 
 from repro.core.lic import lic_matching
 from repro.core.lid import run_lid

@@ -16,7 +16,6 @@ Two sub-experiments:
    disruptors (they effectively remove themselves from the overlay).
 """
 
-import pytest
 
 from repro.core.lic import lic_matching
 from repro.core.lid import LidNode, run_lid

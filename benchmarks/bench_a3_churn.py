@@ -16,7 +16,6 @@ near the static-instance level.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.lic import lic_matching
 from repro.core.weights import satisfaction_weights

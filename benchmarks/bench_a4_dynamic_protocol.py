@@ -13,7 +13,6 @@ distributed realisation of the exact incremental repair.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.dynamic_lid import DynamicLidHarness
 from repro.core.lic import lic_matching

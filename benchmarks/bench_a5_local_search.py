@@ -9,7 +9,6 @@ gain is small (≈0–3%) — empirical backing for why the paper stops at
 greedy: the distributed simplicity costs very little weight.
 """
 
-import pytest
 
 from repro.baselines.exact import max_weight_bmatching_milp
 from repro.baselines.local_search import local_search_bmatching

@@ -23,12 +23,10 @@ future-work question: individual guarantees will need mechanism changes
 """
 
 import numpy as np
-import pytest
 
 from repro.core.analysis import jain_fairness
 from repro.core.lic import lic_matching
 from repro.core.variants import alpha_weight_table, two_phase_lid
-from repro.core.weights import satisfaction_weights
 from repro.overlay import build_scenario
 
 

@@ -15,7 +15,6 @@ while the weight-blind control loses 15–40%.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     best_response_dynamics,

@@ -10,7 +10,6 @@ stay flat, since proposal waves are local.
 
 import time
 
-import pytest
 
 from repro.core.lic import lic_matching
 from repro.core.lid import run_lid

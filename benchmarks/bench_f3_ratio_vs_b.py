@@ -8,7 +8,6 @@ guaranteed floor ¼(1+1/b) and the intermediate Theorem-1 factor
 i.e. the analysis is worst-case, and its slack grows with b.
 """
 
-import pytest
 
 from repro.core.analysis import theorem1_bound, theorem3_bound
 from repro.core.lid import solve_lid

@@ -14,7 +14,6 @@ Expected shape: every odd ring row shows ``br_cycles=yes`` /
 ``stable_exists=no``, every LID column terminates.
 """
 
-import pytest
 
 from repro.baselines import best_response_dynamics, stable_fixtures_matching
 from repro.core.lid import solve_lid

@@ -15,7 +15,6 @@ not cost overlay usability.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.random_matching import random_bmatching
 from repro.core.lid import solve_lid

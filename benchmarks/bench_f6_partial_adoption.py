@@ -18,7 +18,6 @@ Measured shape (the two headline findings):
 """
 
 import numpy as np
-import pytest
 
 from repro.core.mixed import run_mixed_adoption
 from repro.core.weights import satisfaction_weights

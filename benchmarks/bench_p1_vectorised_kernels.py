@@ -11,7 +11,6 @@ the scalar ones (correctness is re-checked here, not assumed).
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.fast import satisfaction_profile_fast, satisfaction_weights_fast
 from repro.core.lic import lic_matching

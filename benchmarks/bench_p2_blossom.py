@@ -11,7 +11,6 @@ import time
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro.baselines.blossom import max_weight_matching_blossom
 from repro.core.weights import WeightTable

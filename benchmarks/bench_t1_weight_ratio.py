@@ -7,7 +7,6 @@ typical ratios far above the bound (≈0.9+), LID always equal to LIC and
 every output passing the locally-heaviest certificate.
 """
 
-import pytest
 
 from repro.core.lic import lic_matching
 from repro.experiments import (

@@ -7,7 +7,6 @@ with the dynamic term linearised).  Expected shape: every ratio within
 pessimistic bound, and increasing head-room as b grows.
 """
 
-import pytest
 
 from repro.core.lid import solve_lid
 from repro.experiments import (

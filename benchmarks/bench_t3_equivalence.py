@@ -7,7 +7,6 @@ that the centralised LIC selects.  Expected shape: 100% equality on
 every instance/schedule pair (the paper proves it, we measure it).
 """
 
-import pytest
 
 from repro.core.lic import lic_matching
 from repro.core.lid import run_lid

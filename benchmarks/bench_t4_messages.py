@@ -10,7 +10,6 @@ quota grow.  Expected shape:
 - rounds grow slowly (the proposal wave is locally bounded), far below n.
 """
 
-import pytest
 
 from repro.core.lid import run_lid
 from repro.core.weights import satisfaction_weights

@@ -14,7 +14,6 @@ the empirical minimum column sits at or above it.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.random_matching import random_bmatching
 from repro.core.lic import solve_modified_bmatching

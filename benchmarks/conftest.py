@@ -9,6 +9,7 @@ core operation with pytest-benchmark.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,18 @@ import pytest
 from repro.experiments.reporting import print_table, write_csv
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def bench_seed() -> int:
+    """Deterministic base seed for benchmark instances.
+
+    CI pins ``REPRO_BENCH_SEED=0`` so the bench-smoke job regenerates
+    identical instances run to run (timings stay comparable across the
+    uploaded ``BENCH_ci.json`` artifacts); set the variable locally to
+    explore other draws.
+    """
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
 @pytest.fixture

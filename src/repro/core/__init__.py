@@ -11,12 +11,17 @@ Public surface:
 - :func:`~repro.core.lid.run_lid` / :func:`~repro.core.lid.solve_lid` —
   Algorithm 1 (distributed, on the event simulator),
 - :mod:`~repro.core.analysis` — certificates and theorem bounds,
-- :mod:`~repro.core.variants` — future-work variants (§7).
+- :mod:`~repro.core.variants` — future-work variants (§7),
+- :mod:`~repro.core.backend` — the ``"reference"``/``"fast"`` execution
+  selector over :mod:`~repro.core.fast`'s array-backed kernels.
 """
 
+from repro.core.backend import BACKENDS, Backend, get_backend
 from repro.core.dynamic_lid import DynamicLidHarness, DynamicLidNode
 from repro.core.fast import (
+    FastInstance,
     edge_weight_arrays,
+    lic_matching_fast,
     satisfaction_profile_fast,
     satisfaction_weights_fast,
 )
@@ -47,8 +52,13 @@ from repro.core.variants import alpha_weight_table, two_phase_lid
 from repro.core.weights import WeightTable, satisfaction_weights
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
+    "get_backend",
     "DynamicLidHarness",
+    "FastInstance",
     "edge_weight_arrays",
+    "lic_matching_fast",
     "satisfaction_profile_fast",
     "satisfaction_weights_fast",
     "DynamicLidNode",

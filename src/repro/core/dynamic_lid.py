@@ -53,7 +53,7 @@ it on the same channel.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.matching import Matching

@@ -181,13 +181,31 @@ def lic_matching_pool(
     return matching
 
 
-def solve_modified_bmatching(ps: PreferenceSystem) -> tuple[Matching, WeightTable]:
+def solve_modified_bmatching(
+    ps: PreferenceSystem, backend: str = "reference"
+) -> tuple[Matching, WeightTable]:
     """End-to-end LIC pipeline for a preference system.
 
     Builds the eq.-9 weight table and runs the sorted-scan LIC.  By
     Theorem 3 (via LID ≡ LIC) the result's *full* satisfaction is a
     ¼(1 + 1/b_max)-approximation of the maximising-satisfaction
     b-matching optimum.
+
+    Parameters
+    ----------
+    backend:
+        ``"reference"`` (scalar, default) or ``"fast"`` (array-backed,
+        :mod:`repro.core.fast`) — identical results either way; see
+        ``docs/performance.md``.
     """
+    if backend == "fast":
+        from repro.core.fast import FastInstance, lic_matching_fast
+
+        fi = FastInstance.from_preference_system(ps)
+        return lic_matching_fast(fi), fi.weight_table()
+    if backend != "reference":
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from ['fast', 'reference']"
+        )
     wt = satisfaction_weights(ps)
     return lic_matching(wt, ps.quotas), wt

@@ -10,7 +10,10 @@ used throughout the experiments.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Iterator
+
+import numpy as np
 
 from repro.core.preferences import PreferenceSystem
 from repro.core.satisfaction import (
@@ -49,6 +52,27 @@ class Matching:
         self._conn: list[set[int]] = [set() for _ in range(n)]
         for i, j in edges:
             self.add(i, j)
+
+    @classmethod
+    def from_trusted_arrays(cls, n: int, i_arr, j_arr) -> "Matching":
+        """Bulk-build from parallel endpoint arrays, skipping per-edge checks.
+
+        The fast backend's greedy selection emits canonical, duplicate-free,
+        in-range edges by construction; re-validating each one through
+        :meth:`add` is pure overhead on the hot path.  Callers must
+        guarantee those invariants.  Connection sets are materialised by
+        sorting the directed edge list once and slicing per node.
+        """
+        out = cls(n)
+        if len(i_arr) == 0:
+            return out
+        nodes = np.concatenate((i_arr, j_arr))
+        partners = np.concatenate((j_arr, i_arr))
+        srt = np.argsort(nodes)
+        partners_sorted = iter(partners[srt].tolist())
+        counts = np.bincount(nodes, minlength=n).tolist()
+        out._conn = [set(islice(partners_sorted, c)) for c in counts]
+        return out
 
     # ------------------------------------------------------------------
     # mutation

@@ -104,6 +104,23 @@ class WeightTable:
             weights[e] = w
         return cls(weights, n)
 
+    @classmethod
+    def from_trusted(cls, weights: dict[Edge, float], n: int) -> "WeightTable":
+        """Adopt an already-validated weight dict without the per-edge checks.
+
+        The fast backend (:mod:`repro.core.fast`) and the churn weight
+        cache produce canonical, duplicate-free, positive-weight dicts by
+        construction; re-validating them costs O(m) Python per call.  The
+        dict is adopted as-is — callers must guarantee canonical ``i < j``
+        keys in ``0..n-1`` and positive weights.
+        """
+        out = cls.__new__(cls)
+        out._n = n
+        out._w = weights
+        out._adj = None
+        out._sorted = None
+        return out
+
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------

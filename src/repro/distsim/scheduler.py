@@ -26,7 +26,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.distsim.events import CONTROL, DELIVERY, TIMER, Event
 from repro.distsim.messages import Message

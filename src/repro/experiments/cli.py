@@ -71,6 +71,9 @@ def _cmd_compare(args) -> int:
 
     lid, _ = solve_lid(ps)
     add("LID", lid.matching)
+    from repro.core.backend import get_backend
+
+    add(f"LIC[{args.backend}]", get_backend(args.backend).solve(ps))
     add("random", random_bmatching(ps, spawn_rng(args.seed, "cli-random")))
     br = best_response_dynamics(ps, max_steps=4000)
     add("best-response" + ("" if br.converged else "*"), br.matching)
@@ -187,9 +190,10 @@ def _cmd_discover(args) -> int:
 
 def _cmd_churn(args) -> int:
     sc = build_scenario("geo_latency", args.n, seed=args.seed)
-    overlay = DynamicOverlay(sc.topology, sc.peers, sc.metric)
+    overlay = DynamicOverlay(sc.topology, sc.peers, sc.metric, backend=args.backend)
     rng = spawn_rng(args.seed, "cli-churn")
     changes = 0
+    reused = recomputed = 0
     for _ in range(args.events):
         if rng.random() < 0.5 and overlay.n > max(10, args.n // 3):
             stats = overlay.leave(int(rng.choice(overlay.active_ids())))
@@ -201,9 +205,14 @@ def _cmd_churn(args) -> int:
                 Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=3), neigh
             )
         changes += stats.resolutions
+        reused += stats.weights_reused
+        recomputed += stats.weights_recomputed
     print(f"{args.events} churn events -> {overlay.n} peers alive,"
           f" {changes} connection changes,"
           f" satisfaction {overlay.total_satisfaction():.2f}")
+    if args.backend == "fast" and reused + recomputed:
+        print(f"weight cache: {reused} reused / {recomputed} recomputed"
+              f" ({100.0 * reused / (reused + recomputed):.0f}% reuse)")
     return 0
 
 
@@ -226,6 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--exact", action="store_true", help="also solve the MILP optimum")
+    p.add_argument("--backend", choices=["reference", "fast"], default="reference",
+                   help="execution backend for the LIC pipeline row")
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("experiment", help="quick version of a named experiment")
@@ -247,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=50)
     p.add_argument("--events", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=["reference", "fast"], default="reference",
+                   help="reference rebuilds weights per event; fast uses the"
+                        " incremental WeightCache")
     p.set_defaults(fn=_cmd_churn)
 
     return parser

@@ -61,6 +61,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "—", "benchmarks/bench_p1_vectorised_kernels.py"),
     Experiment("p2", "from-scratch blossom vs networkx (engineering)",
                "ref [2]", "benchmarks/bench_p2_blossom.py"),
+    Experiment("p3", "array-backed fast LIC backend ≥5x (engineering)",
+               "—", "benchmarks/bench_p3_fast_backend.py"),
 )
 
 

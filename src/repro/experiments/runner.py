@@ -7,6 +7,7 @@ conventions and aggregation.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import statistics
 from concurrent.futures import ProcessPoolExecutor
@@ -21,12 +22,30 @@ def _invoke(job: tuple[Callable[..., dict], dict]) -> dict:
     return run(**call)
 
 
+def _accepts_param(run: Callable[..., dict], name: str) -> bool:
+    """Whether ``run`` can be called with keyword argument ``name``."""
+    try:
+        sig = inspect.signature(run)
+    except (TypeError, ValueError):  # builtins, C callables — be permissive
+        return True
+    for p in sig.parameters.values():
+        if p.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if p.name == name and p.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
 def sweep(
     run: Callable[..., dict],
     grid: Mapping[str, Sequence],
     repeats: int = 1,
     seed_param: str = "seed",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> list[dict]:
     """Run ``run(**params)`` over the cartesian product of ``grid``.
 
@@ -39,7 +58,18 @@ def sweep(
     (``run`` must then be a picklable module-level function, the usual
     multiprocessing constraint).  Record order is identical to the
     sequential order either way, so seeded sweeps stay reproducible.
+
+    ``backend`` selects the ``"reference"``/``"fast"`` execution path
+    (validated via :func:`repro.core.backend.get_backend`): it is passed
+    through to ``run`` when its signature accepts a ``backend`` keyword,
+    and annotated on every record either way.
     """
+    if backend is not None:
+        from repro.core.backend import resolve_backend_name
+
+        backend = resolve_backend_name(backend)
+    inject_backend = backend is not None and _accepts_param(run, "backend")
+
     keys = list(grid)
     jobs: list[tuple[dict, dict]] = []  # (annotation, call kwargs)
     for values in itertools.product(*(grid[k] for k in keys)):
@@ -50,6 +80,10 @@ def sweep(
             if repeats > 1:
                 call[seed_param] = call.get(seed_param, 0) * repeats + rep
                 out["rep"] = rep
+            if backend is not None:
+                out["backend"] = backend
+                if inject_backend:
+                    call.setdefault("backend", backend)
             jobs.append((out, call))
 
     if workers is not None and workers > 1 and len(jobs) > 1:

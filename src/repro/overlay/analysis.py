@@ -21,7 +21,6 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.matching import Matching
-from repro.core.preferences import PreferenceSystem
 
 __all__ = [
     "connected_components",

@@ -29,9 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.core.backend import resolve_backend_name
+from repro.core.fast import FastInstance, lic_matching_fast
 from repro.core.lic import lic_matching
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
+from repro.core.satisfaction import delta_static
 from repro.core.weights import WeightTable, satisfaction_weights
 from repro.overlay.builder import build_preference_system
 from repro.overlay.metrics import MetricAssignment, SuitabilityMetric
@@ -39,7 +42,7 @@ from repro.overlay.peer import Peer
 from repro.overlay.topology import Topology
 from repro.utils.validation import InvalidInstanceError, ProtocolError
 
-__all__ = ["RepairStats", "DynamicOverlay", "greedy_repair"]
+__all__ = ["RepairStats", "DynamicOverlay", "WeightCache", "greedy_repair"]
 
 
 @dataclass
@@ -56,11 +59,97 @@ class RepairStats:
     edges_scanned:
         Total candidate-edge examinations — the work measure compared
         against a full re-run's ``m log m`` scan in bench A3.
+    weights_reused:
+        Eq.-9 edge weights taken from the :class:`WeightCache` instead
+        of being recomputed (0 on the reference backend, which rebuilds
+        the whole table).
+    weights_recomputed:
+        Eq.-9 edge weights actually recomputed for this event.
     """
 
     resolutions: int = 0
     dirty_nodes: int = 0
     edges_scanned: int = 0
+    weights_reused: int = 0
+    weights_recomputed: int = 0
+
+
+class WeightCache:
+    """Incremental eq.-9 weight store keyed by *external* peer-id pairs.
+
+    A churn event only changes the preference lists (hence list lengths,
+    ranks and clamped quotas) of the joining/leaving peer and its
+    overlay neighbours; every other edge keeps its exact eq.-9 weight.
+    The cache exploits this: :meth:`refresh` rebuilds the weight dict
+    for the current edge set (pruning edges of departed peers as a side
+    effect) but only *recomputes* weights incident to the declared
+    weight-dirty peers, copying everything else from the previous event.
+
+    Keys are stable external peer ids, so entries survive the
+    compaction remap that follows every churn event.  Recomputed values
+    use the same scalar arithmetic as the reference
+    (:func:`repro.core.satisfaction.delta_static`), and the bulk fill
+    uses :class:`repro.core.fast.FastInstance` — both bit-identical, so
+    a cached table is indistinguishable from a fresh
+    :func:`~repro.core.weights.satisfaction_weights` build.
+    """
+
+    __slots__ = ("_w",)
+
+    def __init__(self) -> None:
+        self._w: dict[tuple[int, int], float] = {}
+
+    def __len__(self) -> int:
+        return len(self._w)
+
+    def clear(self) -> None:
+        """Drop all cached weights (next refresh bulk-fills)."""
+        self._w.clear()
+
+    def seed(self, fi: FastInstance, ids: list[int]) -> None:
+        """Warm the cache from an already-lowered :class:`FastInstance`."""
+        self._w = {
+            (ids[a], ids[b]): w
+            for a, b, w in zip(fi.i.tolist(), fi.j.tolist(), fi.w.tolist())
+        }
+
+    def refresh(
+        self,
+        ps: PreferenceSystem,
+        ids: list[int],
+        weight_dirty: "set[int] | frozenset[int]",
+    ) -> tuple[WeightTable, int, int]:
+        """Weight table for the compact instance; returns ``(wt, reused, recomputed)``.
+
+        ``weight_dirty`` holds the external ids whose preference lists
+        may have changed since the previous refresh; every edge touching
+        one of them is recomputed, the rest are copied forward.
+        """
+        if not self._w:
+            # cold start: vectorised bulk fill, everything "recomputed"
+            fi = FastInstance.from_preference_system(ps)
+            i_list, j_list, w_list = fi.i.tolist(), fi.j.tolist(), fi.w.tolist()
+            self._w = {
+                (ids[a], ids[b]): w for a, b, w in zip(i_list, j_list, w_list)
+            }
+            compact = dict(zip(zip(i_list, j_list), w_list))
+            return WeightTable.from_trusted(compact, ps.n), 0, len(compact)
+        new: dict[tuple[int, int], float] = {}
+        compact: dict[tuple[int, int], float] = {}
+        cached = self._w
+        reused = recomputed = 0
+        for a, b in ps.edges():
+            pa, pb = ids[a], ids[b]  # ids is sorted, so pa < pb
+            w = cached.get((pa, pb))
+            if w is None or pa in weight_dirty or pb in weight_dirty:
+                w = delta_static(ps, a, b) + delta_static(ps, b, a)
+                recomputed += 1
+            else:
+                reused += 1
+            new[(pa, pb)] = w
+            compact[(a, b)] = w
+        self._w = new
+        return WeightTable.from_trusted(compact, ps.n), reused, recomputed
 
 
 def greedy_repair(
@@ -139,6 +228,13 @@ class DynamicOverlay:
     ----------
     topology, peers, metric:
         As for :func:`repro.overlay.builder.build_preference_system`.
+    backend:
+        ``"reference"`` (default) rebuilds the eq.-9 weight table from
+        scratch on every event; ``"fast"`` keeps a :class:`WeightCache`
+        (only dirty edges are rescaled per event) and runs the
+        array-backed :func:`~repro.core.fast.lic_matching_fast` for full
+        rematches.  Matchings are identical either way — only the cost
+        differs (see ``docs/performance.md``).
     """
 
     def __init__(
@@ -146,7 +242,15 @@ class DynamicOverlay:
         topology: Topology,
         peers: list[Peer],
         metric: SuitabilityMetric | MetricAssignment,
+        backend: str = "reference",
     ):
+        self.backend = resolve_backend_name(backend)
+        self._wcache: WeightCache | None = (
+            WeightCache() if self.backend == "fast" else None
+        )
+        # external ids whose preference lists changed since the cache
+        # was last refreshed (covers repair=False events)
+        self._weight_dirty: set[int] = set()
         self.metric = metric
         self._peers: dict[int, Peer] = {p.peer_id: p for p in peers}
         if len(self._peers) != len(peers):
@@ -171,7 +275,7 @@ class DynamicOverlay:
         """Sorted external ids of active peers."""
         return sorted(self._peers)
 
-    def _compact(self) -> tuple[PreferenceSystem, WeightTable, list[int], dict[int, int]]:
+    def _compact_instance(self) -> tuple[PreferenceSystem, list[int], dict[int, int]]:
         ids = self.active_ids()
         index = {pid: k for k, pid in enumerate(ids)}
         topo_adj = [
@@ -183,7 +287,27 @@ class DynamicOverlay:
         ps = build_preference_system(
             Topology(topo_adj, None, "dynamic"), peers, self.metric
         )
-        wt = satisfaction_weights(ps)
+        return ps, ids, index
+
+    def _weights(
+        self, ps: PreferenceSystem, ids: list[int]
+    ) -> tuple[WeightTable, int, int]:
+        """Eq.-9 weights for the compact instance; ``(wt, reused, recomputed)``.
+
+        The fast backend serves them from the :class:`WeightCache`,
+        rescaling only edges incident to peers dirtied since the last
+        refresh; the reference backend rebuilds from scratch.
+        """
+        if self._wcache is None:
+            self._weight_dirty.clear()
+            return satisfaction_weights(ps), 0, 0
+        out = self._wcache.refresh(ps, ids, self._weight_dirty)
+        self._weight_dirty.clear()
+        return out
+
+    def _compact(self) -> tuple[PreferenceSystem, WeightTable, list[int], dict[int, int]]:
+        ps, ids, index = self._compact_instance()
+        wt, _, _ = self._weights(ps, ids)
         return ps, wt, ids, index
 
     def _matching_compact(self, index: dict[int, int]) -> Matching:
@@ -225,8 +349,15 @@ class DynamicOverlay:
 
     def full_rematch(self) -> None:
         """Recompute the matching from scratch (the baseline A3 compares to)."""
-        ps, wt, ids, _ = self._compact()
-        matching = lic_matching(wt, ps.quotas)
+        ps, ids, _ = self._compact_instance()
+        if self.backend == "fast":
+            fi = FastInstance.from_preference_system(ps)
+            matching = lic_matching_fast(fi)
+            assert self._wcache is not None
+            self._wcache.seed(fi, ids)
+            self._weight_dirty.clear()
+        else:
+            matching = lic_matching(satisfaction_weights(ps), ps.quotas)
         self._store_matching(matching, ids)
 
     def leave(self, peer_id: int, repair: bool = True) -> RepairStats:
@@ -245,6 +376,10 @@ class DynamicOverlay:
         del self._adj[peer_id]
         for q in self._partners.pop(peer_id, set()):
             self._partners[q].discard(peer_id)
+        # the neighbours' preference lists shrank: their eq.-9 weights are
+        # stale even if this event is repaired later (repair=False)
+        self._weight_dirty |= neighbours
+        self._weight_dirty.discard(peer_id)
         if not self._peers:
             return RepairStats()
         if not repair:
@@ -270,6 +405,9 @@ class DynamicOverlay:
         for q in neigh:
             self._adj[q].add(pid)
         self._partners[pid] = set()
+        # the joiner and its neighbours gained a list entry
+        self._weight_dirty |= neigh
+        self._weight_dirty.add(pid)
         if not repair:
             return pid, RepairStats()
         return pid, self._repair(dirty_external=neigh | {pid})
@@ -284,11 +422,14 @@ class DynamicOverlay:
         expanded = set(dirty_external)
         for pid in dirty_external:
             expanded.update(self._adj.get(pid, ()))
-        ps, wt, ids, index = self._compact()
+        ps, ids, index = self._compact_instance()
+        wt, reused, recomputed = self._weights(ps, ids)
         dirty_external = expanded
         matching = self._matching_compact(index)
         dirty = {index[pid] for pid in dirty_external if pid in index}
         stats = greedy_repair(wt, list(ps.quotas), matching, dirty)
+        stats.weights_reused = reused
+        stats.weights_recomputed = recomputed
         matching.validate(ps)
         self._store_matching(matching, ids)
         return stats

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
 
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem

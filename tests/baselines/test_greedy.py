@@ -1,7 +1,6 @@
 """Tests for greedy comparators."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.exact import max_weight_bmatching_milp

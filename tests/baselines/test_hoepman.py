@@ -1,6 +1,5 @@
 """Tests for Hoepman's distributed 1-1 matching (paper ref [6])."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.hoepman import run_hoepman

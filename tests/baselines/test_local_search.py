@@ -1,6 +1,5 @@
 """Tests for the local-search b-matching improver."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.exact import max_weight_bmatching_milp

@@ -1,6 +1,5 @@
 """Tests for the stable-fixtures hybrid solver."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.stable_fixtures import (

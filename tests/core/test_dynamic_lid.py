@@ -12,7 +12,6 @@ from repro.core.dynamic_lid import DynamicLidHarness
 from repro.core.lic import lic_matching
 from repro.core.weights import WeightTable
 from repro.distsim import ExponentialLatency, UniformLatency
-from repro.utils.validation import ProtocolError
 
 
 def random_pref_orders(n, p, rng):

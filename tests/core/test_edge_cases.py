@@ -11,7 +11,6 @@ from repro.core import (
     greedy_certificate,
     lic_matching,
     run_lid,
-    satisfaction_weights,
     solve_lid,
 )
 from repro.core.weights import WeightTable

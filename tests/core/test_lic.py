@@ -11,7 +11,7 @@ from repro.core.lic import (
     locally_heaviest_edges,
     solve_modified_bmatching,
 )
-from repro.core.weights import WeightTable, satisfaction_weights
+from repro.core.weights import WeightTable
 
 from tests.conftest import preference_systems, random_ps, weighted_instances
 

@@ -8,7 +8,6 @@ from repro.core.lid import LidNode, run_lid, solve_lid
 from repro.core.weights import WeightTable, satisfaction_weights
 from repro.distsim import (
     BernoulliLoss,
-    ConstantLatency,
     ExponentialLatency,
     Trace,
     UniformLatency,

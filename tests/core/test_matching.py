@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.matching import Matching
-from repro.core.preferences import PreferenceSystem
 from repro.core.weights import satisfaction_weights
 from repro.utils.validation import InvalidMatchingError
 

@@ -5,7 +5,6 @@ import math
 import pytest
 from hypothesis import given, settings
 
-from repro.core.matching import Matching
 from repro.core.lic import solve_modified_bmatching
 from repro.core.satisfaction import (
     connection_list,

@@ -1,6 +1,5 @@
 """Tests for the future-work variants (paper §7)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.core.preferences import PreferenceSystem
 from repro.core.satisfaction import delta_static
 from repro.core.weights import WeightTable, edge_key, satisfaction_weights
 from repro.utils.validation import InvalidInstanceError

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.lid import LidNode, run_lid
+from repro.core.lid import LidNode
 from repro.core.weights import satisfaction_weights
 from repro.distsim.failures import BernoulliLoss, CrashSchedule, make_byzantine
 from repro.distsim.messages import Message

@@ -1,7 +1,5 @@
 """Delivery-ordering properties of the network + scheduler stack."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.distsim import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.distsim import ConstantLatency, Network, ProtocolNode, Simulator, Trace
+from repro.distsim import Network, ProtocolNode, Simulator, Trace
 from repro.utils.validation import ProtocolError
 
 

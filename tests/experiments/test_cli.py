@@ -49,6 +49,47 @@ class TestCommands:
         assert "churn events" in out and "satisfaction" in out
 
 
+class TestBackendFlag:
+    def test_compare_backend_default(self):
+        args = build_parser().parse_args(["compare", "geo_latency"])
+        assert args.backend == "reference"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "geo_latency", "--backend", "gpu"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["churn", "--backend", "gpu"])
+
+    def test_compare_fast_backend(self, capsys):
+        assert main(["compare", "geo_latency", "--n", "20",
+                     "--backend", "fast"]) == 0
+        assert "LIC[fast]" in capsys.readouterr().out
+
+    def test_compare_backends_same_matching(self, capsys):
+        """The LIC row must be numerically identical on both backends."""
+        assert main(["compare", "geo_latency", "--n", "20"]) == 0
+        ref_out = capsys.readouterr().out
+        assert main(["compare", "geo_latency", "--n", "20",
+                     "--backend", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+
+        def lic_row(text, label):
+            line = next(ln for ln in text.splitlines() if label in ln)
+            return line.split("|")[1:]  # total/mean/min columns
+
+        assert lic_row(ref_out, "LIC[reference]") == lic_row(fast_out, "LIC[fast]")
+
+    def test_churn_fast_backend_reports_cache(self, capsys):
+        assert main(["churn", "--n", "25", "--events", "6",
+                     "--backend", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "weight cache" in out and "% reuse" in out
+
+    def test_churn_reference_backend_no_cache_line(self, capsys):
+        assert main(["churn", "--n", "25", "--events", "6"]) == 0
+        assert "weight cache" not in capsys.readouterr().out
+
+
 def test_module_entry_point():
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "scenario", "interest_social", "--n", "20"],

@@ -148,6 +148,26 @@ def _square_job(x, seed=0):
     return {"sq": x * x + seed * 0}
 
 
+def _backend_job(x, backend="reference"):
+    """Module-level, accepts ``backend``: picklable for worker pools."""
+    return {"used": backend, "x2": 2 * x}
+
+
+def _no_backend_job(x):
+    """Module-level, does NOT accept ``backend``."""
+    return {"x2": 2 * x}
+
+
+def _lic_job(n, seed=0, backend="reference"):
+    """Solve a small instance on the requested backend (module-level)."""
+    from repro.core import get_backend
+    from repro.experiments.instances import random_preference_instance
+
+    ps = random_preference_instance(n, 0.3, 2, seed=seed)
+    m = get_backend(backend).solve(ps)
+    return {"edges": m.size()}
+
+
 class TestParallelSweep:
     def test_workers_match_sequential(self):
         grid = {"x": [1, 2, 3, 4]}
@@ -159,3 +179,59 @@ class TestParallelSweep:
         rows = sweep(_square_job, {"x": [2]}, repeats=3, workers=2)
         assert [r["rep"] for r in rows] == [0, 1, 2]
         assert all(r["sq"] == 4 for r in rows)
+
+    def test_workers_preserve_record_order(self):
+        grid = {"x": [5, 1, 4, 2, 3]}
+        rows = sweep(_square_job, grid, workers=3)
+        assert [r["x"] for r in rows] == [5, 1, 4, 2, 3]
+        assert [r["sq"] for r in rows] == [25, 1, 16, 4, 9]
+
+    def test_workers_with_seed_offsets(self):
+        seq = sweep(
+            lambda seed: {"seed_used": seed}, {"seed": [0, 1]}, repeats=2
+        )
+        par = sweep(_seed_echo_job, {"seed": [0, 1]}, repeats=2, workers=2)
+        assert [r["seed_used"] for r in par] == [r["seed_used"] for r in seq]
+
+    def test_one_worker_stays_sequential(self):
+        rows = sweep(_square_job, {"x": [3]}, workers=1)
+        assert rows == [{"x": 3, "sq": 9}]
+
+
+def _seed_echo_job(seed):
+    """Module-level echo of the injected seed (picklable)."""
+    return {"seed_used": seed}
+
+
+class TestSweepBackend:
+    def test_backend_injected_and_annotated(self):
+        rows = sweep(_backend_job, {"x": [1, 2]}, backend="fast")
+        assert all(r["backend"] == "fast" and r["used"] == "fast" for r in rows)
+
+    def test_backend_annotation_without_injection(self):
+        # run() does not accept backend: annotate only, never pass it
+        rows = sweep(_no_backend_job, {"x": [1]}, backend="fast")
+        assert rows == [{"x": 1, "backend": "fast", "x2": 2}]
+
+    def test_no_backend_by_default(self):
+        rows = sweep(_backend_job, {"x": [1]})
+        assert "backend" not in rows[0]
+        assert rows[0]["used"] == "reference"  # run()'s own default
+
+    def test_grid_value_wins_over_sweep_backend(self):
+        rows = sweep(
+            _backend_job, {"x": [1], "backend": ["reference"]}, backend="fast"
+        )
+        assert rows[0]["used"] == "reference"
+
+    def test_unknown_backend_rejected_before_running(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            sweep(_backend_job, {"x": [1]}, backend="bogus")
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_backends_agree_across_workers(self, workers):
+        grid = {"n": [12, 16]}
+        ref = sweep(_lic_job, grid, backend="reference", workers=workers)
+        fast = sweep(_lic_job, grid, backend="fast", workers=workers)
+        assert [r["edges"] for r in ref] == [r["edges"] for r in fast]
+        assert all(r["backend"] == "fast" for r in fast)

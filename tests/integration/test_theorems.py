@@ -6,7 +6,6 @@ asserts the theorem-level guarantees — the same checks the benchmark
 harness reports as tables, here in pass/fail form.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import (

@@ -7,15 +7,14 @@ from repro.core.analysis import weighted_blocking_edges
 from repro.core.lic import lic_matching
 from repro.core.matching import Matching
 from repro.core.weights import WeightTable, satisfaction_weights
-from repro.overlay.churn import DynamicOverlay, greedy_repair
-from repro.overlay.metrics import DistanceMetric, PrivateTasteMetric
-from repro.overlay.peer import Peer, generate_peers
+from repro.overlay.churn import DynamicOverlay, WeightCache, greedy_repair
+from repro.overlay.peer import Peer
 from repro.overlay.scenario import build_scenario
 
 
-def _dyn(n=24, seed=3, metric=None):
+def _dyn(n=24, seed=3, metric=None, backend="reference"):
     sc = build_scenario("geo_latency", n, seed=seed)
-    return DynamicOverlay(sc.topology, sc.peers, metric or sc.metric)
+    return DynamicOverlay(sc.topology, sc.peers, metric or sc.metric, backend=backend)
 
 
 def _assert_is_greedy_fixpoint(dyn: DynamicOverlay):
@@ -126,3 +125,130 @@ class TestDynamicOverlay:
     def test_total_satisfaction_positive(self):
         dyn = _dyn()
         assert dyn.total_satisfaction() > 0
+
+
+class TestFastBackend:
+    """backend="fast" must be an invisible engine swap for churn."""
+
+    def test_backend_validation(self):
+        sc = build_scenario("geo_latency", 10, seed=0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            DynamicOverlay(sc.topology, sc.peers, sc.metric, backend="bogus")
+
+    def test_initial_state_matches_reference(self):
+        ref = _dyn(n=24, seed=3)
+        fast = _dyn(n=24, seed=3, backend="fast")
+        for pid in ref.active_ids():
+            assert ref.partners(pid) == fast.partners(pid)
+
+    def test_identical_trajectories_under_churn(self):
+        ref = _dyn(n=24, seed=3)
+        fast = _dyn(n=24, seed=3, backend="fast")
+        rng_ref = np.random.default_rng(11)
+        rng_fast = np.random.default_rng(11)
+        for _ in range(12):
+            for dyn, rng in ((ref, rng_ref), (fast, rng_fast)):
+                if rng.random() < 0.5 and dyn.n > 8:
+                    dyn.leave(int(rng.choice(dyn.active_ids())))
+                else:
+                    ids = dyn.active_ids()
+                    neigh = [int(x) for x in
+                             rng.choice(ids, size=min(4, len(ids)), replace=False)]
+                    dyn.join(
+                        Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=2),
+                        neigh,
+                    )
+            assert set(ref.active_ids()) == set(fast.active_ids())
+            for pid in ref.active_ids():
+                assert ref.partners(pid) == fast.partners(pid)
+
+    def test_fast_stays_greedy_fixpoint(self):
+        dyn = _dyn(n=20, seed=7, backend="fast")
+        rng = np.random.default_rng(13)
+        for _ in range(6):
+            if rng.random() < 0.5 and dyn.n > 6:
+                dyn.leave(int(rng.choice(dyn.active_ids())))
+            else:
+                ids = dyn.active_ids()
+                neigh = [int(x) for x in
+                         rng.choice(ids, size=min(3, len(ids)), replace=False)]
+                dyn.join(Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=2),
+                         neigh)
+            _assert_is_greedy_fixpoint(dyn)
+
+    def test_cache_stats_reported(self):
+        dyn = _dyn(n=30, seed=5, backend="fast")
+        rng = np.random.default_rng(17)
+        stats = dyn.leave(int(rng.choice(dyn.active_ids())))
+        assert stats.weights_reused > 0  # most edges untouched by one leave
+        assert stats.weights_reused + stats.weights_recomputed == dyn.instance()[0].m
+
+    def test_reference_backend_reports_no_reuse(self):
+        dyn = _dyn(n=20, seed=5)
+        stats = dyn.leave(dyn.active_ids()[0])
+        assert stats.weights_reused == 0 and stats.weights_recomputed == 0
+
+    def test_cache_refresh_matches_reference_weights(self):
+        """After any churn the cached table must equal a fresh eq.-9 build."""
+        dyn = _dyn(n=25, seed=9, backend="fast")
+        rng = np.random.default_rng(19)
+        for _ in range(4):
+            dyn.leave(int(rng.choice(dyn.active_ids())))
+        ps, _ = dyn.instance()
+        cached_wt, _, _ = dyn._weights(*dyn._compact_instance()[:2])
+        fresh = satisfaction_weights(ps)
+        for i, j in ps.edges():
+            assert cached_wt.weight(i, j) == fresh.weight(i, j)  # bit-identical
+
+    def test_unrepaired_events_mark_weights_dirty(self):
+        """repair=False leaves stale weights; the next repair must not
+        serve them from the cache."""
+        dyn = _dyn(n=22, seed=6, backend="fast")
+        rng = np.random.default_rng(23)
+        dyn.leave(int(rng.choice(dyn.active_ids())), repair=False)
+        ids = dyn.active_ids()
+        neigh = [int(x) for x in rng.choice(ids, size=3, replace=False)]
+        dyn.join(Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=2), neigh)
+        _assert_is_greedy_fixpoint(dyn)
+        ps, _ = dyn.instance()
+        cached_wt, _, _ = dyn._weights(*dyn._compact_instance()[:2])
+        fresh = satisfaction_weights(ps)
+        for i, j in ps.edges():
+            assert cached_wt.weight(i, j) == fresh.weight(i, j)
+
+
+class TestWeightCache:
+    def test_cold_refresh_fills_cache(self):
+        dyn = _dyn(n=15, seed=2)  # reference overlay: just a ps supplier
+        ps, ids, _ = dyn._compact_instance()
+        cache = WeightCache()
+        wt, reused, recomputed = cache.refresh(ps, ids, set())
+        assert reused == 0 and recomputed == len(cache) == ps.m
+        fresh = satisfaction_weights(ps)
+        for i, j in ps.edges():
+            assert wt.weight(i, j) == fresh.weight(i, j)
+
+    def test_warm_refresh_reuses_clean_entries(self):
+        dyn = _dyn(n=15, seed=2)
+        ps, ids, _ = dyn._compact_instance()
+        cache = WeightCache()
+        cache.refresh(ps, ids, set())
+        wt, reused, recomputed = cache.refresh(ps, ids, set())
+        assert recomputed == 0 and reused == ps.m
+        assert wt.m == ps.m
+
+    def test_dirty_nodes_force_recompute(self):
+        dyn = _dyn(n=15, seed=2)
+        ps, ids, _ = dyn._compact_instance()
+        cache = WeightCache()
+        cache.refresh(ps, ids, set())
+        dirty_peer = ids[0]
+        _, reused, recomputed = cache.refresh(ps, ids, {dirty_peer})
+        touched = sum(1 for i, j in ps.edges() if 0 in (i, j))
+        assert recomputed == touched and reused == ps.m - touched
+
+    def test_clear(self):
+        cache = WeightCache()
+        assert len(cache) == 0
+        cache.clear()
+        assert len(cache) == 0
