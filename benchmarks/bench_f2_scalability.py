@@ -1,43 +1,68 @@
 """F2 — scalability: runtime and protocol cost vs overlay size.
 
 Regenerates the "local communication scales" claim of §5: wall-clock
-time of the centralised LIC, wall-clock of the simulated LID, and
+time of the centralised LIC, wall-clock of the LID execution, and
 protocol metrics (messages, rounds) as n doubles from 100 to 800 at
 constant average degree.  Expected shape: near-linear growth of LIC
 time and of total messages in m; rounds grow roughly logarithmically /
 stay flat, since proposal waves are local.
+
+Backend-aware (``--repro-backend`` / ``REPRO_BENCH_BACKEND``): the
+``reference`` backend drives the event-by-event simulator, the ``fast``
+backend the round-batched engine — which also extends the series to
+n = 12800 (and bench_p4 to n = 100000), sizes the simulator cannot
+reach in a smoke run.  Whichever backend runs the sweep, the smallest
+size is cross-checked between both engines.
 """
 
 import time
 
-
+from repro.core.fast import FastInstance, lic_matching_fast
+from repro.core.fast_lid import lid_matching_fast
 from repro.core.lic import lic_matching
 from repro.core.lid import run_lid
 from repro.core.weights import satisfaction_weights
 from repro.experiments import random_preference_instance
 
+SIZES = (100, 200, 400, 800)
+FAST_EXTRA_SIZES = (3200, 12800)
 
-def test_f2_scalability_series(report, benchmark):
-    rows = []
-    for n in (100, 200, 400, 800):
-        ps = random_preference_instance(n, p=10.0 / n, quota=3, seed=1)
+
+def _measure(ps, backend):
+    """Return ``(lic_matching_result, lid_result, t_lic, t_lid)``."""
+    if backend == "fast":
+        fi = FastInstance.from_preference_system(ps)
+        t0 = time.perf_counter()
+        lic = lic_matching_fast(fi)
+        t_lic = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        res = lid_matching_fast(fi)
+        t_lid = time.perf_counter() - t0
+    else:
         wt = satisfaction_weights(ps)
-
         t0 = time.perf_counter()
         lic = lic_matching(wt, ps.quotas)
         t_lic = time.perf_counter() - t0
-
         t0 = time.perf_counter()
         res = run_lid(wt, ps.quotas)
         t_lid = time.perf_counter() - t0
+    return lic, res, t_lic, t_lid
 
+
+def test_f2_scalability_series(report, benchmark, bench_backend):
+    sizes = SIZES + (FAST_EXTRA_SIZES if bench_backend == "fast" else ())
+    rows = []
+    for n in sizes:
+        ps = random_preference_instance(n, p=10.0 / n, quota=3, seed=1)
+        lic, res, t_lic, t_lid = _measure(ps, bench_backend)
         assert res.matching.edge_set() == lic.edge_set()
         rows.append(
             {
                 "n": n,
                 "m": ps.m,
+                "backend": bench_backend,
                 "lic_ms": 1e3 * t_lic,
-                "lid_sim_ms": 1e3 * t_lid,
+                "lid_ms": 1e3 * t_lid,
                 "messages": res.metrics.total_sent,
                 "msgs_per_edge": res.metrics.total_sent / max(ps.m, 1),
                 "rounds": res.rounds,
@@ -45,14 +70,26 @@ def test_f2_scalability_series(report, benchmark):
         )
     report(
         rows,
-        ["n", "m", "lic_ms", "lid_sim_ms", "messages", "msgs_per_edge", "rounds"],
-        title="F2  scalability at constant average degree (~10)",
+        ["n", "m", "backend", "lic_ms", "lid_ms", "messages",
+         "msgs_per_edge", "rounds"],
+        title="F2  scalability at constant average degree (~10)"
+              f" — backend={bench_backend}",
         csv_name="f2_scalability.csv",
     )
     # message cost is linear in m: per-edge cost stays bounded
     assert max(r["msgs_per_edge"] for r in rows) <= 4.0
     # rounds stay far below n (locality)
     assert all(r["rounds"] < r["n"] / 4 for r in rows)
+
+    # cross-check subsample: whichever backend ran the sweep, both
+    # engines must agree on the smallest instance — matching AND
+    # message statistics (the fast engine replays the simulator)
+    ps = random_preference_instance(SIZES[0], 10.0 / SIZES[0], 3, seed=1)
+    ref = run_lid(satisfaction_weights(ps), ps.quotas)
+    fast = lid_matching_fast(FastInstance.from_preference_system(ps))
+    assert fast.matching.edge_set() == ref.matching.edge_set()
+    assert fast.metrics.total_sent == ref.metrics.total_sent
+    assert fast.rounds == ref.rounds
 
     ps = random_preference_instance(400, 10.0 / 400, 3, seed=1)
     wt = satisfaction_weights(ps)

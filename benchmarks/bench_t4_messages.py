@@ -8,18 +8,31 @@ quota grow.  Expected shape:
 - PROP ≤ 2m and REJ ≤ 2m (each node contacts each neighbour at most
   once per message type), so total messages grow linearly in m;
 - rounds grow slowly (the proposal wave is locally bounded), far below n.
+
+Backend-aware (``--repro-backend`` / ``REPRO_BENCH_BACKEND``): the
+sweep runs on the event-by-event simulator or the round-batched fast
+engine — the message statistics are identical by construction, and the
+smallest grid point is cross-checked between both engines every run.
 """
 
 
+from repro.core.fast import FastInstance
+from repro.core.fast_lid import lid_matching_fast
 from repro.core.lid import run_lid
 from repro.core.weights import satisfaction_weights
 from repro.experiments import aggregate, random_preference_instance, sweep
 
 
-def _run(n: int, b: int, seed: int) -> dict:
+def _run(n: int, b: int, seed: int, backend: str = "reference") -> dict:
     ps = random_preference_instance(n, p=min(0.3, 12.0 / n), quota=b, seed=seed)
-    wt = satisfaction_weights(ps)
-    res = run_lid(wt, ps.quotas)
+    if backend == "fast":
+        res = lid_matching_fast(FastInstance.from_preference_system(ps))
+        # the fast engine raises ProtocolError on any unfinished node,
+        # so reaching this line is the termination witness
+        terminated = True
+    else:
+        res = run_lid(satisfaction_weights(ps), ps.quotas)
+        terminated = all(node.finished for node in res.nodes)
     m = ps.m
     return {
         "m": m,
@@ -30,26 +43,27 @@ def _run(n: int, b: int, seed: int) -> dict:
         "msgs_per_edge": res.metrics.total_sent / max(m, 1),
         "prop_bound_ok": res.prop_messages <= 2 * m,
         "rej_bound_ok": res.rej_messages <= 2 * m,
-        "terminated": all(node.finished for node in res.nodes),
+        "terminated": terminated,
     }
 
 
-def test_t4_message_complexity_table(report, benchmark):
+def test_t4_message_complexity_table(report, benchmark, bench_backend):
     rows = sweep(
         _run,
         {"n": [50, 100, 200, 400], "b": [2, 4], "seed": [0]},
         repeats=2,
+        backend=bench_backend,
     )
     agg = aggregate(
         rows,
-        ["n", "b"],
+        ["n", "b", "backend"],
         ["m", "prop", "rej", "total", "rounds", "msgs_per_edge",
          "prop_bound_ok", "rej_bound_ok", "terminated"],
     )
     report(
         agg,
-        ["n", "b", "m", "prop", "rej", "total", "msgs_per_edge", "rounds",
-         "prop_bound_ok", "rej_bound_ok", "terminated"],
+        ["n", "b", "backend", "m", "prop", "rej", "total", "msgs_per_edge",
+         "rounds", "prop_bound_ok", "rej_bound_ok", "terminated"],
         title="T4  LID message complexity (PROP ≤ 2m, REJ ≤ 2m, linear in m)",
         csv_name="t4_messages.csv",
     )
@@ -57,6 +71,12 @@ def test_t4_message_complexity_table(report, benchmark):
         assert r["terminated"] == 1.0
         assert r["prop_bound_ok"] == 1.0 and r["rej_bound_ok"] == 1.0
         assert r["msgs_per_edge"] <= 4.0
+
+    # cross-check subsample: the two engines must report identical
+    # message statistics on the smallest grid point
+    ref = _run(50, 2, seed=0, backend="reference")
+    fast = _run(50, 2, seed=0, backend="fast")
+    assert fast == ref
 
     ps = random_preference_instance(200, 12.0 / 200, 3, seed=9)
     wt = satisfaction_weights(ps)

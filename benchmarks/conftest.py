@@ -19,6 +19,32 @@ from repro.experiments.reporting import print_table, write_csv
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-backend",
+        choices=("reference", "fast"),
+        default=None,
+        help="execution backend for backend-aware benches (F2, T4): the"
+             " event-by-event reference simulator or the array-backed"
+             " fast engine; defaults to REPRO_BENCH_BACKEND, else"
+             " 'reference'",
+    )
+
+
+@pytest.fixture
+def bench_backend(request) -> str:
+    """Selected ``reference``/``fast`` backend for backend-aware benches.
+
+    Priority: ``--repro-backend`` CLI option, then the
+    ``REPRO_BENCH_BACKEND`` environment variable, then ``reference``.
+    Backend-aware benches cross-check the fast engine against the
+    reference on a small subsample either way, so a fast sweep stays
+    pinned to the simulator's semantics.
+    """
+    opt = request.config.getoption("--repro-backend")
+    return opt or os.environ.get("REPRO_BENCH_BACKEND", "reference")
+
+
 @pytest.fixture
 def bench_seed() -> int:
     """Deterministic base seed for benchmark instances.

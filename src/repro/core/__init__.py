@@ -10,6 +10,8 @@ Public surface:
 - :func:`~repro.core.lic.lic_matching` — Algorithm 2 (centralised),
 - :func:`~repro.core.lid.run_lid` / :func:`~repro.core.lid.solve_lid` —
   Algorithm 1 (distributed, on the event simulator),
+- :func:`~repro.core.fast_lid.lid_matching_fast` — Algorithm 1's
+  round-batched fast engine (default channels, bit-identical results),
 - :mod:`~repro.core.analysis` — certificates and theorem bounds,
 - :mod:`~repro.core.variants` — future-work variants (§7),
 - :mod:`~repro.core.backend` — the ``"reference"``/``"fast"`` execution
@@ -33,6 +35,7 @@ from repro.core.analysis import (
     theorem3_bound,
     weighted_blocking_edges,
 )
+from repro.core.fast_lid import FastLidResult, lid_matching_fast
 from repro.core.lic import lic_matching, lic_matching_pool, solve_modified_bmatching
 from repro.core.mixed import MixedRunResult, run_mixed_adoption
 from repro.core.lid import LidNode, LidResult, run_lid, solve_lid
@@ -67,6 +70,8 @@ __all__ = [
     "WeightTable",
     "satisfaction_weights",
     "lic_matching",
+    "FastLidResult",
+    "lid_matching_fast",
     "MixedRunResult",
     "run_mixed_adoption",
     "lic_matching_pool",

@@ -10,7 +10,8 @@ pipeline (eq.-9 weights → LIC edge selection → satisfaction scoring):
 - ``fast`` — the array-backed kernels of :mod:`repro.core.fast`
   (:class:`~repro.core.fast.FastInstance`,
   :func:`~repro.core.fast.lic_matching_fast`,
-  :func:`~repro.core.fast.satisfaction_profile_fast`).
+  :func:`~repro.core.fast.satisfaction_profile_fast`) plus the
+  round-batched LID engine of :mod:`repro.core.fast_lid`.
 
 Both produce the same results — bit-identical weights and identical
 edge sets (see ``docs/performance.md``) — so callers pick purely on
@@ -32,7 +33,9 @@ from repro.core.fast import (
     satisfaction_profile_fast,
     satisfaction_weights_fast,
 )
+from repro.core.fast_lid import FastLidResult, lid_matching_fast
 from repro.core.lic import lic_matching
+from repro.core.lid import LidResult, run_lid
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
 from repro.core.weights import WeightTable, satisfaction_weights
@@ -55,6 +58,19 @@ class Backend:
 
     def lic(self, wt: WeightTable, quotas: Sequence[int]) -> Matching:
         """Algorithm 2 on an explicit weight table."""
+        raise NotImplementedError
+
+    def lid(
+        self, wt: WeightTable, quotas: Sequence[int], seed: int = 0
+    ) -> "LidResult | FastLidResult":
+        """Algorithm 1 (default channels) on an explicit weight table.
+
+        Both backends execute the faithful reliable-FIFO-unit-latency
+        schedule: ``reference`` event by event through the simulator,
+        ``fast`` via the round-batched engine — identical matching and
+        message statistics (``seed`` only varies channel randomness,
+        which the default channels do not have).
+        """
         raise NotImplementedError
 
     def solve(self, ps: PreferenceSystem) -> Matching:
@@ -82,6 +98,11 @@ class ReferenceBackend(Backend):
     def lic(self, wt: WeightTable, quotas: Sequence[int]) -> Matching:
         return lic_matching(wt, quotas)
 
+    def lid(
+        self, wt: WeightTable, quotas: Sequence[int], seed: int = 0
+    ) -> LidResult:
+        return run_lid(wt, quotas, seed=seed)
+
     def solve(self, ps: PreferenceSystem) -> Matching:
         return lic_matching(satisfaction_weights(ps), ps.quotas)
 
@@ -101,6 +122,11 @@ class FastBackend(Backend):
 
     def lic(self, wt: WeightTable, quotas: Sequence[int]) -> Matching:
         return lic_matching_fast(wt, quotas)
+
+    def lid(
+        self, wt: WeightTable, quotas: Sequence[int], seed: int = 0
+    ) -> FastLidResult:
+        return lid_matching_fast(wt, quotas)
 
     def solve(self, ps: PreferenceSystem) -> Matching:
         return lic_matching_fast(FastInstance.from_preference_system(ps))

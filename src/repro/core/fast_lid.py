@@ -1,0 +1,409 @@
+"""Round-batched fast LID engine (Algorithm 1 on flat arrays).
+
+:func:`repro.core.lid.run_lid` executes the faithful Algorithm 1 one
+``heapq`` event at a time through :class:`~repro.distsim.scheduler.Simulator`
+— per message it pays a heap push/pop, a :class:`Message` allocation,
+four ``Counter`` updates and a handler dispatch, which makes the LID
+rows of experiments F2/F4/T4 the dominant wall-clock cost of the suite
+beyond ``n ≈ 20k``.  This module is the array-backed replacement for the
+protocol's *default* channel assumptions (reliable FIFO unit-latency
+point-to-point links, no loss, no retransmission): the configuration
+every headline experiment uses.
+
+Why round batching is exact
+---------------------------
+
+Under unit constant latency every message sent at virtual time ``r``
+is delivered at ``r + 1``, so the asynchronous execution collapses into
+synchronous PROP/REJ *waves*: round ``r + 1`` delivers exactly the
+messages sent during round ``r``.  Two facts make a wave loop replay the
+reference event loop **bit-identically** rather than merely
+equivalently:
+
+1. *Receivers are independent within a round.*  A handler mutates only
+   the receiving node's state and emits messages that are delivered next
+   round, so processing round ``r``'s deliveries in any order that
+   preserves each receiver's per-message subsequence reproduces every
+   node's state transitions exactly.
+2. *The reference delivery order is the send order.*  ``heapq`` orders
+   events by ``(time, insertion counter)``; with all of round ``r``'s
+   deliveries sharing one time, the counter — i.e. the order messages
+   were sent in round ``r - 1`` — is the only ordering authority.  A
+   two-list wave loop (process current round in order, append sends to
+   the next round in handler order) therefore *is* the reference
+   schedule.
+
+Order genuinely matters: per-node ``props_sent``/``rejs_sent`` and the
+``late_messages`` count are **not** invariants of arbitrary reordering.
+Example: a node that processes a REJ and tops up toward neighbour ``k``
+before processing ``k``'s same-round in-flight REJ sends a PROP the
+opposite interleaving never sends.  (The *matching* is order-invariant
+— Lemmas 3–6: the locked edges are exactly the locally heaviest ones,
+the LIC edge set — but this engine reproduces the message statistics
+too, so the differential suite can pin every observable.)
+
+Implementation
+--------------
+
+The instance is lowered once to directed-slot arrays (the weight lists
+of all nodes concatenated in CSR layout, each slot paired with its
+reverse slot via the unique undirected-edge codes also used by
+:class:`~repro.core.fast.FastInstance`).  A message is then a single
+``int`` packing ``receiver << SH | receiver_slot << 1 | is_rej`` — no
+:class:`Message` objects, no heap, and no table lookups on delivery.
+
+- **Round 0** (the initial PROP burst, typically ~⅓ of all traffic) is
+  fully vectorised: a NumPy mask proposes to the top ``min(b_i, deg_i)``
+  weight-list entries of every node at once, and nodes with an empty
+  effective quota terminate immediately with a bulk REJ fan-out.
+- **Rounds ≥ 1** run a tight flat-array state machine over the wave:
+  per-slot ``U``/``P``/``A``/``K`` membership is four flag bits in one
+  state bytearray (one read + one write per transition), the per-node
+  weight-list cursor a plain list, so one delivery costs a handful of
+  list/bytearray index operations instead of the simulator's object
+  machinery.
+- Phase timers (``build_weights`` / ``sim_loop`` / ``extract``) are
+  recorded in :attr:`SimMetrics.phase_seconds` so benchmarks can
+  attribute time; see ``docs/performance.md``.
+
+Every observable of the returned :class:`FastLidResult` — matching,
+per-node PROP/REJ counts, round counts, late messages, per-kind and
+per-node metric counters — is pinned to the reference ``run_lid`` by
+the differential suite in ``tests/core/test_fast_lid.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.fast import FastInstance, _coerce_instance
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable
+from repro.distsim.metrics import SimMetrics
+from repro.utils.validation import ProtocolError
+
+__all__ = ["FastLidResult", "lid_matching_fast"]
+
+PROP = "PROP"
+REJ = "REJ"
+
+
+@dataclass
+class FastLidResult:
+    """Outcome of a fast-engine LID run.
+
+    Mirrors :class:`repro.core.lid.LidResult` field for field except that
+    per-node statistics are arrays (``props_sent`` / ``rejs_sent``)
+    instead of a list of node objects — the engine has no node objects.
+
+    Attributes
+    ----------
+    matching:
+        The locked edge set (symmetric by construction, checked).
+    metrics:
+        :class:`SimMetrics` with the same counters the simulator would
+        have produced, plus ``phase_seconds``.
+    props_sent, rejs_sent:
+        ``int64[n]`` per-node message counts, bit-identical to the
+        reference nodes' ``props_sent`` / ``rejs_sent``.
+    late_messages:
+        Deliveries discarded because the receiver had terminated.
+    """
+
+    matching: Matching
+    metrics: SimMetrics
+    props_sent: np.ndarray
+    rejs_sent: np.ndarray
+    late_messages: int
+
+    @property
+    def prop_messages(self) -> int:
+        """Total ``PROP`` messages sent."""
+        return self.metrics.sent_by_kind.get(PROP, 0)
+
+    @property
+    def rej_messages(self) -> int:
+        """Total ``REJ`` messages sent."""
+        return self.metrics.sent_by_kind.get(REJ, 0)
+
+    @property
+    def rounds(self) -> float:
+        """Virtual quiescence time (synchronous rounds under unit latency)."""
+        return self.metrics.end_time
+
+    @property
+    def causal_rounds(self) -> int:
+        """Longest causal message chain — exact asynchronous round count."""
+        return self.metrics.max_depth
+
+
+def _directed_layout(fi: FastInstance):
+    """CSR weight lists + reverse-slot pairing for all ``2m`` directed slots.
+
+    Returns ``(start, nbr, rev, owner)`` where ``start`` is the ``n+1``
+    offset array, ``nbr[s]`` the neighbour of slot ``s``, ``rev[s]`` the
+    slot of the reverse direction and ``owner[s]`` the slot's node.  The
+    slots of node ``v`` occupy ``start[v]:start[v+1]`` in *weight-list
+    order*: strictly decreasing total-order key ``(w, min, max)``,
+    identical to :meth:`WeightTable.weight_list`.
+    """
+    n, m = fi.n, fi.m
+    if m == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return np.zeros(n + 1, dtype=np.int64), z, z, z
+    # The sort key (w, min, max) desc is an *edge* attribute — identical
+    # for both directions — so rank the m edges once and order the 2m
+    # directed entries by (owner, edge rank).  ``sorted_order`` IS that
+    # edge ranking: the instance stores canonical ascending (i, j), so
+    # its stable-argsort-reversed order equals descending (w, i, j) —
+    # the exact ``WeightTable.weight_list`` key (and it is cached on the
+    # instance for lower-once/solve-many callers).
+    edge_order = fi.sorted_order()
+    # Interleaving the two directed halves of each edge lists all 2m
+    # entries in edge-rank order; a stable sort by owner then yields
+    # within-owner rank-ascending slots.  Owner values fit int32, which
+    # keeps the radix argsort ~3x cheaper than a 64-bit composite key.
+    owner2 = np.concatenate([fi.i, fi.j])
+    pre = np.empty(2 * m, dtype=np.int64)
+    pre[0::2] = edge_order
+    pre[1::2] = edge_order + m
+    perm = pre[np.argsort(owner2[pre].astype(np.int32), kind="stable")]
+    owner = owner2[perm]
+    nbr = np.concatenate([fi.j, fi.i])[perm]
+    deg = np.bincount(owner2, minlength=n)
+    start = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=start[1:])
+    # pair each slot with its reverse direction through the inverse
+    # permutation: directed entries d and d+m are the two halves of
+    # edge d, so their sorted positions point at each other
+    inv = np.empty(2 * m, dtype=np.int64)
+    inv[perm] = np.arange(2 * m, dtype=np.int64)
+    rev = np.empty(2 * m, dtype=np.int64)
+    rev[inv[:m]] = inv[m:]
+    rev[inv[m:]] = inv[:m]
+    return start, nbr, rev, owner
+
+
+def lid_matching_fast(
+    src: "FastInstance | PreferenceSystem | WeightTable",
+    quotas: Optional[Sequence[int]] = None,
+    *,
+    max_events: Optional[int] = None,
+) -> FastLidResult:
+    """Execute LID as synchronous PROP/REJ waves over flat arrays.
+
+    Bit-identical to ``run_lid(wt, quotas)`` with default channel
+    parameters (reliable FIFO unit-latency, no loss, no trace): same
+    matching, same per-node ``props_sent``/``rejs_sent``, same round and
+    late-message counts, same metric counters.
+
+    Parameters
+    ----------
+    src:
+        A :class:`FastInstance` (preferred — lower once, solve many), a
+        :class:`PreferenceSystem`, or a :class:`WeightTable` (requires
+        ``quotas``).
+    quotas:
+        Connection quotas ``b_i``; defaults to the source's own quotas.
+    max_events:
+        Hang-detector budget counted over *processed* (non-late)
+        deliveries, mirroring the simulator's documented default
+        ``1000 + 500·n + 50·initial_burst``.  The faithful protocol
+        sends at most two messages per directed edge, so the default is
+        never reached; it exists to turn a protocol bug into an error
+        instead of a hang.
+    """
+    t0 = time.perf_counter()
+    fi = _coerce_instance(src, quotas)
+    n, m = fi.n, fi.m
+    if quotas is None:
+        quota = fi.quota
+    else:
+        quota = np.asarray([int(q) for q in quotas], dtype=np.int64)
+        if quota.shape != (n,):
+            raise ValueError(f"quotas length {len(quotas)} != n={n}")
+
+    start, nbr, rev, owner = _directed_layout(fi)
+    deg = np.diff(start)
+
+    # ---- round 0: vectorised initial top-up + bulk REJ fan-out --------
+    eff = np.minimum(quota, deg)  # proposals each node can place now
+    slot_pos = np.arange(2 * m, dtype=np.int64) - start[owner]
+    prop0 = slot_pos < eff[owner]  # top-of-weight-list burst
+    fin0 = eff <= 0  # quota 0 or no neighbours: terminate at once
+    rej0 = fin0[owner]  # ... broadcasting REJ to every neighbour
+
+    # A message is one int carrying everything its *receiver* needs:
+    # ``receiver << SH | receiver_slot << 1 | is_rej``.  Sender slot s
+    # delivers on the receiver's paired slot rev[s] of node nbr[s], so
+    # the handler below runs on two shifts and zero table lookups.
+    rbits = (2 * m).bit_length()
+    SH = rbits + 1
+    RMASK = (1 << rbits) - 1
+    packed = (nbr << SH) | (rev << 1)  # indexed by *sender* slot
+    cur = (packed | rej0)[prop0 | rej0].tolist()
+    packed_l = packed.tolist()
+
+    # ---- per-slot / per-node protocol state ---------------------------
+    # one flag byte per directed slot: U membership, P membership,
+    # A (approached) and K (locked) — single read/write per transition
+    IN, PR, AP, LK = 1, 2, 4, 8
+    st = bytearray(
+        (np.where(rej0, 0, IN) | np.where(prop0, PR, 0))
+        .astype(np.uint8)
+        .tobytes()
+    )
+    finished = bytearray(fin0.astype(np.uint8).tobytes())
+    room = (quota - eff).tolist()  # b_i - |P_i|: top-up capacity left
+    n_out = eff.tolist()  # |P_i \ K_i|  (outstanding proposals)
+    cursor = (start[:-1] + eff).tolist()  # weight-list scan position
+    props = eff.tolist()
+    rejs = np.where(fin0, deg, 0).tolist()
+    received = [0] * n
+
+    end_l = start.tolist()[1:]
+
+    if max_events is None:
+        max_events = 1000 + 500 * n + 50 * len(cur)
+
+    t1 = time.perf_counter()
+
+    # ---- synchronous waves: round r delivers round r-1's sends --------
+    rounds = 0
+    events = 0
+    processed = 0  # non-late deliveries, charged against max_events
+    late = 0
+    delivered_prop = 0
+    delivered_rej = 0
+    max_depth = 0
+    while cur:
+        rounds += 1
+        events += len(cur)
+        delivered_before = delivered_prop + delivered_rej
+        nxt: list[int] = []
+        append = nxt.append
+        for code in cur:
+            j = code >> SH
+            if finished[j]:
+                # receiver left its receive loop; the message crossed its
+                # final REJ broadcast (see §5 termination analysis)
+                late += 1
+                continue
+            r = (code >> 1) & RMASK
+            v = st[r]
+            received[j] += 1
+            if code & 1:  # REJ on slot r's edge
+                delivered_rej += 1
+                st[r] = v & ~IN
+                if v & PR:
+                    room[j] += 1
+                    n_out[j] -= 1
+            else:  # PROP on slot r's edge
+                delivered_prop += 1
+                if v & (PR | LK) == PR:
+                    # mutual proposal: lock without any extra message
+                    st[r] = (v | AP | LK) & ~IN
+                    n_out[j] -= 1
+                else:
+                    st[r] = v | AP
+            # top-up: propose to best unproposed unresolved neighbours
+            # while below quota (steps 1/3 of Algorithm 1 — a single
+            # cursor sweep, monotone across the whole run)
+            rm = room[j]
+            if rm:
+                p = cursor[j]
+                end_j = end_l[j]
+                while rm and p < end_j:
+                    v = st[p]
+                    if v & (IN | PR) == IN:
+                        rm -= 1
+                        n_out[j] += 1
+                        props[j] += 1
+                        append(packed_l[p])
+                        if v & AP:
+                            st[p] = (v | PR | LK) & ~IN
+                            n_out[j] -= 1
+                        else:
+                            st[p] = v | PR
+                    p += 1
+                cursor[j] = p
+                room[j] = rm
+            # termination: no outstanding proposals left (lines 15-16).
+            # The REJ fan-out scans from cursor[j], not start[j]: every
+            # slot the cursor passed is proposed or dead, and n_out == 0
+            # means each proposal is locked or rejected — either way
+            # IN is clear below the cursor, so only the unscanned tail
+            # can still hold unresolved neighbours.
+            if n_out[j] == 0:
+                finished[j] = 1
+                sent_rejs = 0
+                for t in range(cursor[j], end_l[j]):
+                    v = st[t]
+                    if v & IN:
+                        st[t] = v & ~IN
+                        sent_rejs += 1
+                        append(packed_l[t] | 1)
+                rejs[j] += sent_rejs
+        if delivered_prop + delivered_rej > delivered_before:
+            max_depth = rounds
+        processed = delivered_prop + delivered_rej
+        if processed > max_events:
+            raise ProtocolError(
+                f"fast LID exceeded {max_events} deliveries without quiescing; "
+                "likely a protocol bug (Lemma 5 guarantees termination)"
+            )
+        cur = nxt
+
+    t2 = time.perf_counter()
+
+    # ---- extraction ---------------------------------------------------
+    if not all(finished):
+        bad = next(i for i in range(n) if not finished[i])
+        raise ProtocolError(f"node {bad} did not finish (Lemma 5 violated?)")
+    lk = (np.frombuffer(bytes(st), dtype=np.uint8) & LK) != 0
+    if m and not np.array_equal(lk, lk[rev]):
+        s = int(np.flatnonzero(lk != lk[rev])[0])
+        i_, j_ = int(owner[s]), int(nbr[s])
+        raise ProtocolError(f"asymmetric lock: {i_} locked {j_} but not vice versa")
+    half = lk & (owner < nbr)
+    matching = Matching.from_trusted_arrays(n, owner[half], nbr[half])
+
+    metrics = SimMetrics()
+    props_arr = np.asarray(props, dtype=np.int64)
+    rejs_arr = np.asarray(rejs, dtype=np.int64)
+    total_props = int(props_arr.sum())
+    total_rejs = int(rejs_arr.sum())
+    if total_props:
+        metrics.sent_by_kind[PROP] = total_props
+    if total_rejs:
+        metrics.sent_by_kind[REJ] = total_rejs
+    if delivered_prop:
+        metrics.delivered_by_kind[PROP] = delivered_prop
+    if delivered_rej:
+        metrics.delivered_by_kind[REJ] = delivered_rej
+    sent_arr = props_arr + rejs_arr
+    nz = np.flatnonzero(sent_arr)
+    metrics.sent_by_node.update(dict(zip(nz.tolist(), sent_arr[nz].tolist())))
+    metrics.received_by_node.update(
+        {v: c for v, c in enumerate(received) if c}
+    )
+    metrics.events = events
+    metrics.end_time = float(rounds)
+    metrics.max_depth = max_depth
+    metrics.phase_seconds = {
+        "build_weights": t1 - t0,
+        "sim_loop": t2 - t1,
+        "extract": time.perf_counter() - t2,
+    }
+    return FastLidResult(
+        matching=matching,
+        metrics=metrics,
+        props_sent=props_arr,
+        rejs_sent=rejs_arr,
+        late_messages=late,
+    )

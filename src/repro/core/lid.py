@@ -45,6 +45,7 @@ Implementation notes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.core.matching import Matching
@@ -218,11 +219,19 @@ class LidNode(ProtocolNode):
             self._finish()
 
     def _finish(self) -> None:
-        """Lines 15–16: reject all unresolved neighbours and stop."""
+        """Lines 15–16: reject all unresolved neighbours and stop.
+
+        The broadcast walks the weight list (not the ``unresolved`` set)
+        so the send order is a deterministic function of the instance
+        rather than of hash-table internals; schedules — and therefore
+        message statistics — stay reproducible across interpreters, and
+        the round-batched engine can replay them exactly.
+        """
         self.finished = True
-        for v in self.unresolved:
-            self.send(v, REJ)
-            self.rejs_sent += 1
+        for v in self.weight_list:
+            if v in self.unresolved:
+                self.send(v, REJ)
+                self.rejs_sent += 1
         self.unresolved.clear()
         self.approachers.clear()
         if not self.polite:
@@ -315,6 +324,7 @@ def run_lid(
     if len(quotas) != n:
         raise ValueError(f"quotas length {len(quotas)} != n={n}")
     polite = retransmit_timeout is not None
+    t0 = perf_counter()
     nodes = [
         LidNode(
             wt.weight_list(i),
@@ -333,11 +343,18 @@ def run_lid(
         seed=seed,
     )
     sim = Simulator(network, nodes, trace=trace)
+    t1 = perf_counter()
     metrics = sim.run(max_events=max_events)
+    t2 = perf_counter()
     for i, node in enumerate(nodes):
         if not node.finished:
             raise ProtocolError(f"node {i} did not finish (Lemma 5 violated?)")
     matching = _extract_matching(nodes)
+    metrics.phase_seconds = {
+        "build_weights": t1 - t0,
+        "sim_loop": t2 - t1,
+        "extract": perf_counter() - t2,
+    }
     return LidResult(
         matching=matching,
         metrics=metrics,
@@ -352,6 +369,7 @@ def solve_lid(
     fifo: bool = True,
     seed: int = 0,
     trace: Optional[Trace] = None,
+    backend: str = "reference",
 ) -> tuple[LidResult, WeightTable]:
     """End-to-end LID pipeline for a preference system.
 
@@ -359,7 +377,34 @@ def solve_lid(
     instance, and returns ``(result, weight_table)``.  By Theorem 3 the
     matching's full satisfaction is a ¼(1+1/b_max)-approximation of the
     maximising-satisfaction b-matching optimum.
+
+    ``backend="fast"`` replays the default channel model (reliable FIFO
+    unit latency — the faithful Algorithm 1 schedule) through the
+    round-batched :func:`repro.core.fast_lid.lid_matching_fast` engine,
+    returning a bit-identical matching and message statistics at a
+    fraction of the cost.  It therefore rejects a custom ``latency`` /
+    ``trace`` / non-FIFO configuration: those need the general
+    event-by-event simulator.  The fast result mirrors
+    :class:`LidResult` except that per-node statistics live in
+    ``props_sent`` / ``rejs_sent`` arrays rather than node objects.
     """
+    from repro.core.backend import resolve_backend_name
+
+    backend = resolve_backend_name(backend)
+    if backend == "fast":
+        if latency is not None or trace is not None or not fifo:
+            raise ValueError(
+                "backend='fast' replays only the default reliable FIFO "
+                "unit-latency channels; use backend='reference' for custom "
+                "latency, tracing, or non-FIFO runs"
+            )
+        from repro.core.fast import FastInstance
+        from repro.core.fast_lid import lid_matching_fast
+
+        fi = FastInstance.from_preference_system(ps)
+        result = lid_matching_fast(fi)
+        result.matching.validate(ps)
+        return result, fi.weight_table()
     wt = satisfaction_weights(ps)
     result = run_lid(wt, ps.quotas, latency=latency, fifo=fifo, seed=seed, trace=trace)
     result.matching.validate(ps)

@@ -10,7 +10,7 @@ used throughout the experiments.
 
 from __future__ import annotations
 
-from itertools import islice
+from itertools import islice, repeat
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -61,17 +61,22 @@ class Matching:
         in-range edges by construction; re-validating each one through
         :meth:`add` is pure overhead on the hot path.  Callers must
         guarantee those invariants.  Connection sets are materialised by
-        sorting the directed edge list once and slicing per node.
+        sorting the directed edge list once and slicing per node
+        (``__new__`` sidesteps ``__init__``'s throwaway empty sets).
         """
-        out = cls(n)
+        if n <= 0:
+            raise InvalidMatchingError(f"n must be positive, got {n}")
+        out = cls.__new__(cls)
+        out._n = n
         if len(i_arr) == 0:
+            out._conn = [set() for _ in range(n)]
             return out
         nodes = np.concatenate((i_arr, j_arr))
         partners = np.concatenate((j_arr, i_arr))
         srt = np.argsort(nodes)
         partners_sorted = iter(partners[srt].tolist())
         counts = np.bincount(nodes, minlength=n).tolist()
-        out._conn = [set(islice(partners_sorted, c)) for c in counts]
+        out._conn = list(map(set, map(islice, repeat(partners_sorted), counts)))
         return out
 
     # ------------------------------------------------------------------

@@ -1,9 +1,16 @@
-"""Event-queue entries for the discrete-event scheduler.
+"""Event kinds (and the legacy entry record) for the scheduler.
 
 Events are totally ordered by ``(time, order)``, where ``order`` is a
 monotone counter assigned at scheduling time.  The counter guarantees a
 deterministic processing order for simultaneous events, independent of
 heap internals — a prerequisite for reproducible distributed runs.
+
+The scheduler's hot path stores events as plain ``(time, order, kind,
+node, data)`` tuples — dataclass construction and rich comparison were
+a measurable share of per-message cost.  The :class:`Event` record is
+kept as the documented shape of those tuples (and for any external
+code that materialises events), but the simulator no longer allocates
+it per message.
 """
 
 from __future__ import annotations

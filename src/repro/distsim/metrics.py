@@ -22,7 +22,12 @@ class SimMetrics:
       this is the asynchronous round count),
     - ``max_depth``: the longest causal message chain — the exact
       asynchronous round count, independent of the latency model,
-    - ``dropped``: messages removed by failure injection.
+    - ``dropped``: messages removed by failure injection,
+    - ``phase_seconds``: optional wall-clock attribution per pipeline
+      phase (``build_weights`` / ``sim_loop`` / ``extract``), filled by
+      :func:`repro.core.lid.run_lid` and
+      :func:`repro.core.fast_lid.lid_matching_fast` so benchmarks can
+      tell protocol time from setup time.
     """
 
     sent_by_kind: Counter = field(default_factory=Counter)
@@ -33,6 +38,7 @@ class SimMetrics:
     end_time: float = 0.0
     dropped: int = 0
     max_depth: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_sent(self) -> int:

@@ -154,6 +154,18 @@ class Network:
         # accounting
         self.sent = 0
         self.dropped = 0
+        # Hot-path specialisation: with no loss filter, no bandwidth
+        # model and a constant latency, transmit() reduces to "stamp a
+        # fixed delay and clamp FIFO" — skip the per-message drop and
+        # latency-model calls.  (Captured at construction; these three
+        # knobs are init-time configuration, not mutated mid-run.)
+        self._fixed_delay: Optional[float] = (
+            self.latency.delay
+            if drop_filter is None
+            and bandwidth is None
+            and isinstance(self.latency, ConstantLatency)
+            else None
+        )
 
     def grow(self, new_n: int) -> None:
         """Raise the node-id capacity (churn joins beyond the headroom)."""
@@ -204,6 +216,15 @@ class Network:
             src=src, dst=dst, kind=kind, payload=payload, seq=self._seq, depth=depth
         )
         self.sent += 1
+        if self._fixed_delay is not None:
+            t = now + self._fixed_delay
+            if self.fifo:
+                chan = (src, dst)
+                prev = self._last_delivery.get(chan)
+                if prev is not None and t <= prev:
+                    t = np.nextafter(prev, np.inf)
+                self._last_delivery[chan] = t
+            return t, msg
         if self.drop_filter is not None and self.drop_filter(msg, self._rng):
             self.dropped += 1
             return None

@@ -1,42 +1,63 @@
 """Deterministic discrete-event simulation engine.
 
-The engine maintains a priority queue of :class:`~repro.distsim.events.Event`
-objects ordered by ``(time, insertion order)`` and processes them until
-quiescence (empty queue), a step budget, or a time horizon.  Protocol
-nodes are driven through their ``on_start`` / ``on_message`` /
-``on_timer`` hooks; every side effect (sending, timers) flows back
-through the simulator, which is how message metrics and traces are
-collected without any cooperation from protocol code.
+The engine maintains a priority queue of pending events ordered by
+``(time, insertion order)`` and processes them until quiescence (empty
+queue), a step budget, or a time horizon.  Protocol nodes are driven
+through their ``on_start`` / ``on_message`` / ``on_timer`` hooks; every
+side effect (sending, timers) flows back through the simulator, which
+is how message metrics and traces are collected without any
+cooperation from protocol code.
 
 Design notes
 ------------
 - *Determinism*: the only ordering authority is the event queue; equal
   delivery times are resolved by the monotone insertion counter, so a
   fixed seed reproduces the exact event sequence.
+- *Queue backends*: events are plain tuples ``(time, order, kind,
+  node, data)``.  Two interchangeable queue disciplines produce the
+  identical ``(time, order)`` processing sequence:
+
+  - ``"heap"`` — one ``heapq`` entry per event; robust for arbitrary
+    (random) latencies where delivery times are almost all distinct.
+  - ``"calendar"`` — a bucket (calendar) queue: a dict mapping each
+    distinct delivery time to a FIFO of its events plus a small heap
+    of the distinct times.  Under a constant-latency model a round's
+    worth of messages lands in a handful of buckets, so per-message
+    queue cost drops from ``O(log #events)`` to ``O(1)`` dict/deque
+    operations.  FIFO order within a bucket equals insertion-counter
+    order because the counter is monotone, which is exactly the heap's
+    tie-break — see ``tests/distsim/test_calendar_queue.py`` for the
+    replay property.
+
+  The default ``"auto"`` picks ``calendar`` for plain constant-latency
+  networks (LID's unit-latency rounds) and ``heap`` otherwise.
 - *Quiescence as termination*: protocols like LID terminate when no
   messages are in flight and every node has exited its receive loop.
   ``run()`` therefore runs the queue dry by default — mirroring the
   paper's Lemma 5, which guarantees the queue *does* run dry.
-- *Safety valve*: ``max_events`` (default ``50 * n + 100`` per node
-  budgeting would be protocol-specific, so we default to a generous
-  global cap) aborts runs that exceed the budget, turning a would-be
-  hang into a test failure.
+- *Safety valve*: ``run`` aborts with :class:`ProtocolError` once it
+  has processed ``max_events`` *live* events (see ``run`` for the
+  default budget), turning a would-be hang into a test failure.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional, Sequence
 
-from repro.distsim.events import CONTROL, DELIVERY, TIMER, Event
+from repro.distsim.events import CONTROL, DELIVERY, TIMER
 from repro.distsim.messages import Message
 from repro.distsim.metrics import SimMetrics
-from repro.distsim.network import Network
+from repro.distsim.network import ConstantLatency, Network
 from repro.distsim.node import ProtocolNode
 from repro.distsim.tracing import Trace
 from repro.utils.validation import ProtocolError
 
 __all__ = ["Simulator"]
+
+#: Queue disciplines accepted by :class:`Simulator`.
+_QUEUE_MODES = ("auto", "calendar", "heap")
 
 
 class Simulator:
@@ -48,10 +69,16 @@ class Simulator:
         The channel model (latency / FIFO / loss).
     nodes:
         The protocol nodes, indexed by node id.  ``len(nodes)`` must
-        equal ``network.n``.
+        not exceed ``network.n``.
     trace:
         Optional :class:`~repro.distsim.tracing.Trace` to record every
-        occurrence (costly; tests only).
+        occurrence (costly; tests only).  Without a trace the event
+        loop takes a branch-free fast path per delivery.
+    queue:
+        Queue discipline: ``"calendar"``, ``"heap"``, or ``"auto"``
+        (default — calendar for constant-latency networks, heap
+        otherwise).  Both disciplines process the exact same event
+        sequence; the choice is purely a performance knob.
     """
 
     def __init__(
@@ -59,6 +86,7 @@ class Simulator:
         network: Network,
         nodes: Sequence[ProtocolNode],
         trace: Optional[Trace] = None,
+        queue: str = "auto",
     ):
         if len(nodes) > network.n:
             raise ValueError(
@@ -66,12 +94,31 @@ class Simulator:
             )
         # fewer nodes than network.n is allowed: the spare capacity is
         # headroom for add_node (churn joins)
+        if queue not in _QUEUE_MODES:
+            raise ValueError(f"queue must be one of {_QUEUE_MODES}, got {queue!r}")
+        if queue == "auto":
+            queue = (
+                "calendar"
+                if isinstance(network.latency, ConstantLatency)
+                and network.bandwidth is None
+                else "heap"
+            )
+        self.queue_mode = queue
         self.network = network
         self.nodes: list[ProtocolNode] = list(nodes)
         self.trace = trace
         self.metrics = SimMetrics()
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        # heap discipline: one (time, order, kind, node, data) tuple per
+        # event.  calendar discipline: _buckets maps a delivery time to
+        # the FIFO of its events' (order, kind, node, data) tails, and
+        # _times is a heap of the distinct bucket times (a time is on
+        # the heap iff its key is in _buckets; empty buckets are
+        # reaped lazily in _peek_time).
+        self._heap: list[tuple] = []
+        self._buckets: dict[float, deque] = {}
+        self._times: list[float] = []
+        self._pending = 0
         self._order = 0
         self._ctx_depth = 0  # causal depth of the handler being executed
         self._started = False
@@ -82,12 +129,50 @@ class Simulator:
             node._attach(i, self)
 
     # ------------------------------------------------------------------
-    # internal API used by ProtocolNode
+    # event queue (both disciplines; see module docstring)
     # ------------------------------------------------------------------
 
     def _push(self, time: float, kind: str, node: int, data: Any) -> None:
         self._order += 1
-        heapq.heappush(self._queue, Event(time, self._order, kind, node, data))
+        self._pending += 1
+        if self.queue_mode == "calendar":
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = bucket = deque()
+                heapq.heappush(self._times, time)
+            bucket.append((self._order, kind, node, data))
+        else:
+            heapq.heappush(self._heap, (time, self._order, kind, node, data))
+
+    def _peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` when the queue is empty."""
+        if self.queue_mode != "calendar":
+            return self._heap[0][0] if self._heap else None
+        times, buckets = self._times, self._buckets
+        while times:
+            t = times[0]
+            if buckets.get(t):
+                return t
+            heapq.heappop(times)  # lazily reap the drained bucket
+            buckets.pop(t, None)
+        return None
+
+    def _pop(self) -> Optional[tuple]:
+        """Pop the next ``(time, order, kind, node, data)`` event."""
+        if self.queue_mode != "calendar":
+            if not self._heap:
+                return None
+            self._pending -= 1
+            return heapq.heappop(self._heap)
+        t = self._peek_time()
+        if t is None:
+            return None
+        self._pending -= 1
+        return (t, *self._buckets[t].popleft())
+
+    # ------------------------------------------------------------------
+    # internal API used by ProtocolNode
+    # ------------------------------------------------------------------
 
     def _send(self, src: int, dst: int, kind: str, payload: Any) -> None:
         if not (0 <= dst < len(self.nodes)):
@@ -154,49 +239,61 @@ class Simulator:
 
     def step(self) -> bool:
         """Process one event.  Returns ``False`` when the queue is empty."""
-        if not self._queue:
-            return False
-        ev = heapq.heappop(self._queue)
-        if ev.time < self.now:
+        return self._step() != 0
+
+    def _step(self) -> int:
+        """Process one event.
+
+        Returns ``0`` when the queue is empty, ``2`` when the event was
+        a message discarded because its receiver had already terminated
+        or crashed (a *late* delivery), and ``1`` for every live event.
+        ``run`` charges only live events against its hang budget.
+        """
+        ev = self._pop()
+        if ev is None:
+            return 0
+        time, _order, kind, ev_node, data = ev
+        if time < self.now:
             raise ProtocolError("event queue time went backwards")
-        self.now = ev.time
+        self.now = time
         self.metrics.events += 1
-        if ev.kind == CONTROL:
-            ev.data(self)
-            return True
-        node = self.nodes[ev.node]
-        if ev.kind == DELIVERY:
-            msg: Message = ev.data
+        if kind == DELIVERY:
+            node = self.nodes[ev_node]
+            msg: Message = data
             if node.crashed or node.terminated:
                 # The receiver has left its receive loop; the message is
                 # discarded (see LID termination analysis: any such
                 # message crossed the receiver's final REJ broadcast).
                 self.late_messages += 1
-                return True
-            self.metrics.delivered_by_kind[msg.kind] += 1
-            self.metrics.received_by_node[ev.node] += 1
-            if msg.depth > self.metrics.max_depth:
-                self.metrics.max_depth = msg.depth
+                return 2
+            metrics = self.metrics
+            metrics.delivered_by_kind[msg.kind] += 1
+            metrics.received_by_node[ev_node] += 1
+            if msg.depth > metrics.max_depth:
+                metrics.max_depth = msg.depth
             if self.trace is not None:
-                self.trace.log(self.now, "deliver", ev.node, msg.src, msg.kind, msg.payload)
+                self.trace.log(self.now, "deliver", ev_node, msg.src, msg.kind, msg.payload)
             self._ctx_depth = msg.depth
             try:
                 node.on_message(msg.src, msg.kind, msg.payload)
             finally:
                 self._ctx_depth = 0
-        elif ev.kind == TIMER:
+        elif kind == CONTROL:
+            data(self)
+        elif kind == TIMER:
+            node = self.nodes[ev_node]
             if not (node.crashed or node.terminated):
-                tag, depth = ev.data
+                tag, depth = data
                 if self.trace is not None:
-                    self.trace.log(self.now, "timer", ev.node, -1, "", tag)
+                    self.trace.log(self.now, "timer", ev_node, -1, "", tag)
                 self._ctx_depth = depth
                 try:
                     node.on_timer(tag)
                 finally:
                     self._ctx_depth = 0
         else:  # pragma: no cover - defensive
-            raise ProtocolError(f"unknown event kind {ev.kind!r}")
-        return True
+            raise ProtocolError(f"unknown event kind {kind!r}")
+        return 1
 
     def run(
         self,
@@ -208,9 +305,16 @@ class Simulator:
         Parameters
         ----------
         max_events:
-            Abort with :class:`ProtocolError` after this many events —
-            a hang detector.  Default: ``1000 + 200 * n + 20 * messages``
-            adaptively, which is far above LID's true bound.
+            Abort with :class:`ProtocolError` after this many *live*
+            events — a hang detector.  Late deliveries (messages
+            discarded because the receiver already terminated) are
+            normal protocol wind-down and do not count against the
+            budget.  Default: ``1000 + 500 * n + 50 * sent``, computed
+            *after* ``start()`` so ``sent`` already includes the
+            initial message burst — every node and every queued message
+            funds a generous slice of follow-up work, which is far
+            above LID's true event bound yet still finite for a
+            livelocked protocol.
         max_time:
             Stop (without error) once virtual time exceeds this horizon.
         """
@@ -218,16 +322,21 @@ class Simulator:
         if max_events is None:
             max_events = 1000 + 500 * len(self.nodes) + 50 * self.network.sent
         processed = 0
-        while self._queue:
-            if max_time is not None and self._queue[0].time > max_time:
+        while True:
+            if max_time is not None:
+                t = self._peek_time()
+                if t is None or t > max_time:
+                    break
+            status = self._step()
+            if status == 0:
                 break
-            self.step()
-            processed += 1
-            if processed > max_events:
-                raise ProtocolError(
-                    f"simulation exceeded {max_events} events without quiescing; "
-                    "likely a protocol bug (Lemma 5 guarantees termination)"
-                )
+            if status == 1:
+                processed += 1
+                if processed > max_events:
+                    raise ProtocolError(
+                        f"simulation exceeded {max_events} events without quiescing; "
+                        "likely a protocol bug (Lemma 5 guarantees termination)"
+                    )
         self.metrics.end_time = self.now
         return self.metrics
 
@@ -242,7 +351,7 @@ class Simulator:
 
     def pending_events(self) -> int:
         """Number of queued events."""
-        return len(self._queue)
+        return self._pending
 
     def crash(self, node_id: int) -> None:
         """Crash a node: it stops sending and receiving immediately."""

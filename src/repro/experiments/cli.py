@@ -45,7 +45,7 @@ __all__ = ["main", "build_parser"]
 
 def _cmd_scenario(args) -> int:
     sc = build_scenario(args.name, args.n, seed=args.seed)
-    result, _ = solve_lid(sc.ps)
+    result, _ = solve_lid(sc.ps, backend=args.backend)
     m = result.matching
     v = m.satisfaction_vector(sc.ps)
     print(f"scenario={sc.name} n={sc.ps.n} m={sc.ps.m} b_max={sc.ps.b_max}")
@@ -228,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=sorted(SCENARIOS))
     p.add_argument("--n", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=["reference", "fast"], default="reference",
+                   help="LID execution path: event-by-event simulator or the"
+                        " round-batched fast engine (identical results)")
     p.set_defaults(fn=_cmd_scenario)
 
     p = sub.add_parser("compare", help="compare algorithms on a scenario")

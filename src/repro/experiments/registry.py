@@ -63,6 +63,9 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "ref [2]", "benchmarks/bench_p2_blossom.py"),
     Experiment("p3", "array-backed fast LIC backend ≥5x (engineering)",
                "—", "benchmarks/bench_p3_fast_backend.py"),
+    Experiment("p4", "round-batched fast LID engine ≥10x, bit-identical"
+               " replay (engineering)",
+               "—", "benchmarks/bench_p4_fast_lid.py"),
 )
 
 

@@ -87,8 +87,19 @@ def sweep(
             jobs.append((out, call))
 
     if workers is not None and workers > 1 and len(jobs) > 1:
+        # Batch jobs per worker round-trip: the default chunksize of 1
+        # pays one pickle/IPC exchange per grid point, which dominates
+        # for large sweeps of cheap runs.  ~4 chunks per worker keeps
+        # load balancing while amortising the overhead.
+        chunksize = max(1, len(jobs) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_invoke, [(run, call) for _, call in jobs]))
+            results = list(
+                pool.map(
+                    _invoke,
+                    [(run, call) for _, call in jobs],
+                    chunksize=chunksize,
+                )
+            )
     else:
         results = [run(**call) for _, call in jobs]
 
@@ -109,7 +120,10 @@ def aggregate(
     """Group records and reduce numeric fields (mean by default).
 
     ``reducers`` may map a field to e.g. ``min``/``max``/``statistics.stdev``.
-    Boolean fields aggregate to the fraction of ``True``.
+    Boolean fields aggregate to the fraction of ``True``.  A reducer
+    that needs at least two data points (``statistics.stdev`` on a
+    single-record group) yields ``None`` for that field rather than
+    raising, so sparse sweeps still aggregate.
     """
     reducers = dict(reducers or {})
     groups: dict[tuple, list[Mapping]] = {}
@@ -128,6 +142,9 @@ def aggregate(
                 row[f] = sum(vals) / len(vals)
             else:
                 reducer = reducers.get(f, statistics.fmean)
-                row[f] = reducer([float(v) for v in vals])
+                try:
+                    row[f] = reducer([float(v) for v in vals])
+                except statistics.StatisticsError:
+                    row[f] = None
         out.append(row)
     return out

@@ -78,18 +78,50 @@ def _from_edge_set(n: int, edges: set[tuple[int, int]], name: str, positions=Non
     return Topology(adjacency, positions, name)
 
 
+# Above this many candidate pairs the dense G(n, p) sampler would
+# materialise multi-GB index arrays; switch to the sparse sampler.
+_ER_DENSE_PAIR_LIMIT = 30_000_000
+
+
 def erdos_renyi(n: int, p: float, rng: np.random.Generator) -> Topology:
     """G(n, p): every pair is an edge independently with probability p.
 
-    Vectorised: samples the ``n(n-1)/2`` Bernoulli draws in one shot.
+    Small graphs sample all ``n(n-1)/2`` Bernoulli draws in one shot
+    (the draw stream — and hence every seeded instance used by the
+    tests and benchmarks — is unchanged).  Past
+    ``_ER_DENSE_PAIR_LIMIT`` candidate pairs that would allocate
+    tens of gigabytes, so large sparse graphs use the exact two-step
+    equivalent instead: draw ``|E| ~ Binomial(n(n-1)/2, p)``, then a
+    uniform ``|E|``-subset of distinct pairs (G(n, p) conditioned on
+    its edge count is uniform over subsets of that size).  The sparse
+    path consumes a different RNG stream, so the two regimes produce
+    different — but equally distributed — instances for a given seed.
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
     if not (0.0 <= p <= 1.0):
         raise ValueError(f"p must be in [0,1], got {p}")
-    iu, ju = np.triu_indices(n, k=1)
-    mask = rng.random(iu.shape[0]) < p
-    edges = {(int(a), int(b)) for a, b in zip(iu[mask], ju[mask])}
+    total_pairs = n * (n - 1) // 2
+    if total_pairs <= _ER_DENSE_PAIR_LIMIT:
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(iu.shape[0]) < p
+        edges = {(int(a), int(b)) for a, b in zip(iu[mask], ju[mask])}
+        return _from_edge_set(n, edges, f"er(n={n},p={p})")
+    m = int(rng.binomial(total_pairs, p))
+    codes = np.empty(0, dtype=np.int64)
+    while codes.shape[0] < m:
+        # Oversample ordered pairs, keep i < j, dedupe; repeat until we
+        # have at least m distinct pairs (one pass suffices when m is
+        # far below total_pairs, the only regime this path serves).
+        need = m - codes.shape[0]
+        draw = max(1024, int(2.3 * need))
+        a = rng.integers(0, n, size=draw, dtype=np.int64)
+        b = rng.integers(0, n, size=draw, dtype=np.int64)
+        keep = a < b
+        codes = np.unique(np.concatenate([codes, a[keep] * n + b[keep]]))
+    if codes.shape[0] > m:
+        codes = rng.choice(codes, size=m, replace=False)
+    edges = {(int(c // n), int(c % n)) for c in codes}
     return _from_edge_set(n, edges, f"er(n={n},p={p})")
 
 

@@ -1,0 +1,153 @@
+"""Differential suite: the round-batched LID engine vs the simulator.
+
+``lid_matching_fast`` claims to replay the *exact* schedule of
+``run_lid`` under the default channels (reliable FIFO unit latency) —
+not just the same matching, but the same per-node message statistics
+and round counts.  These tests pin that claim across hypothesis-
+generated instances, a seeded random grid, and hand-built edge cases
+(empty graphs, zero quotas, isolated nodes, tied weights).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fast_lid import FastLidResult, lid_matching_fast
+from repro.core.lid import run_lid, solve_lid
+from repro.core.weights import WeightTable, satisfaction_weights
+
+from tests.conftest import preference_systems, random_ps, weighted_instances
+
+
+def assert_replays_reference(wt: WeightTable, quotas) -> FastLidResult:
+    """Run both engines and require bit-identical observables."""
+    ref = run_lid(wt, quotas)
+    fast = lid_matching_fast(wt, quotas)
+    assert fast.matching.edge_set() == ref.matching.edge_set()
+    assert list(fast.props_sent) == [node.props_sent for node in ref.nodes]
+    assert list(fast.rejs_sent) == [node.rejs_sent for node in ref.nodes]
+    assert fast.prop_messages == ref.prop_messages
+    assert fast.rej_messages == ref.rej_messages
+    assert fast.rounds == ref.rounds
+    assert fast.causal_rounds == ref.causal_rounds
+    assert fast.late_messages == ref.late_messages
+    assert fast.metrics.sent_by_kind == ref.metrics.sent_by_kind
+    assert fast.metrics.delivered_by_kind == ref.metrics.delivered_by_kind
+    assert fast.metrics.sent_by_node == ref.metrics.sent_by_node
+    assert fast.metrics.received_by_node == ref.metrics.received_by_node
+    assert fast.metrics.events == ref.metrics.events
+    assert fast.metrics.end_time == ref.metrics.end_time
+    assert fast.metrics.max_depth == ref.metrics.max_depth
+    return fast
+
+
+class TestHypothesisDifferential:
+    @settings(max_examples=100, deadline=None)
+    @given(weighted_instances())
+    def test_arbitrary_weight_tables(self, inst):
+        wt, quotas = inst
+        assert_replays_reference(wt, quotas)
+
+    @settings(max_examples=60, deadline=None)
+    @given(preference_systems())
+    def test_eq9_weight_tables(self, ps):
+        assert_replays_reference(satisfaction_weights(ps), list(ps.quotas))
+
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_instances(), st.lists(st.integers(0, 3), min_size=8, max_size=8))
+    def test_zero_quotas(self, inst, raw_quotas):
+        # quota 0 forces an immediate REJ broadcast in round 0 — the
+        # trickiest schedule for late-message accounting.
+        wt, _ = inst
+        assert_replays_reference(wt, raw_quotas[: wt.n])
+
+
+class TestSeededGridDifferential:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("p", [0.1, 0.4, 0.9])
+    @pytest.mark.parametrize("quota", [1, 3])
+    def test_random_grid(self, seed, p, quota):
+        ps = random_ps(11, p, quota, seed=seed, ensure_edges=True)
+        assert_replays_reference(satisfaction_weights(ps), list(ps.quotas))
+
+    @pytest.mark.parametrize("n", [40, 90])
+    def test_sparse_larger(self, n):
+        ps = random_ps(n, 6.0 / n, 2, seed=n, ensure_edges=True)
+        assert_replays_reference(satisfaction_weights(ps), list(ps.quotas))
+
+
+class TestEdgeCases:
+    def test_single_node(self):
+        fast = assert_replays_reference(WeightTable({}, 1), [1])
+        assert fast.matching.size() == 0
+        assert fast.metrics.total_sent == 0
+
+    def test_no_edges(self):
+        assert_replays_reference(WeightTable({}, 4), [2, 1, 0, 3])
+
+    def test_two_nodes_mutual(self):
+        fast = assert_replays_reference(WeightTable({(0, 1): 1.0}, 2), [1, 1])
+        assert fast.matching.edge_set() == {(0, 1)}
+        assert fast.prop_messages == 2
+        assert fast.rej_messages == 0
+
+    def test_tied_weights(self):
+        # all weights equal: the edge order falls back to id tie-breaks
+        weights = {(i, j): 1.0 for i in range(5) for j in range(i + 1, 5)}
+        assert_replays_reference(WeightTable(weights, 5), [2] * 5)
+
+    def test_star_quota_bottleneck(self):
+        weights = {(0, j): float(j) for j in range(1, 7)}
+        fast = assert_replays_reference(WeightTable(weights, 7), [1] * 7)
+        assert fast.matching.size() == 1
+
+    def test_quota_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="quotas"):
+            lid_matching_fast(WeightTable({(0, 1): 1.0}, 2), [1])
+
+
+class TestSolveLidBackend:
+    def test_fast_backend_matches_reference(self):
+        ps = random_ps(15, 0.3, 2, seed=3, ensure_edges=True)
+        ref, wt_ref = solve_lid(ps)
+        fast, wt_fast = solve_lid(ps, backend="fast")
+        assert fast.matching.edge_set() == ref.matching.edge_set()
+        assert fast.rounds == ref.rounds
+        assert fast.metrics.total_sent == ref.metrics.total_sent
+        assert wt_fast.edges() == wt_ref.edges()
+        for e in wt_ref.edges():
+            assert wt_fast.weight(*e) == wt_ref.weight(*e)
+
+    def test_fast_backend_rejects_simulator_knobs(self):
+        from repro.distsim.network import UniformLatency
+        from repro.distsim.tracing import Trace
+
+        ps = random_ps(6, 0.5, 1, seed=0, ensure_edges=True)
+        with pytest.raises(ValueError, match="fast"):
+            solve_lid(ps, backend="fast", latency=UniformLatency())
+        with pytest.raises(ValueError, match="fast"):
+            solve_lid(ps, backend="fast", fifo=False)
+        with pytest.raises(ValueError, match="fast"):
+            solve_lid(ps, backend="fast", trace=Trace())
+
+    def test_backend_object_api(self):
+        from repro.core.backend import get_backend
+
+        ps = random_ps(10, 0.4, 2, seed=7, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        ref = get_backend("reference").lid(wt, list(ps.quotas))
+        fast = get_backend("fast").lid(wt, list(ps.quotas))
+        assert fast.matching.edge_set() == ref.matching.edge_set()
+        assert fast.prop_messages == ref.prop_messages
+        assert fast.rej_messages == ref.rej_messages
+
+    def test_phase_timers_populated(self):
+        ps = random_ps(10, 0.4, 2, seed=1, ensure_edges=True)
+        for backend in ("reference", "fast"):
+            res, _ = solve_lid(ps, backend=backend)
+            assert set(res.metrics.phase_seconds) == {
+                "build_weights", "sim_loop", "extract",
+            }
+            assert all(v >= 0.0 for v in res.metrics.phase_seconds.values())

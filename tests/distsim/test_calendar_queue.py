@@ -1,0 +1,147 @@
+"""Calendar-queue scheduler: exact replay of the heapq event order.
+
+The calendar (bucket) queue is a performance knob, not a semantic one:
+for any protocol and network configuration it must process the exact
+``(time, insertion order)`` event sequence the heap discipline does.
+These tests pin that equivalence on traced runs — constant and random
+latencies, timers, control events, late deliveries — plus the ``auto``
+selection rule and queue bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lid import run_lid
+from repro.core.weights import satisfaction_weights
+from repro.distsim.network import ConstantLatency, Network, UniformLatency
+from repro.distsim.node import ProtocolNode
+from repro.distsim.scheduler import Simulator
+from repro.distsim.tracing import Trace
+from tests.conftest import random_ps
+
+
+class Chatter(ProtocolNode):
+    """Traffic generator: floods decreasing-TTL tokens plus a timer."""
+
+    def __init__(self, fanout: int = 0, ttl: int = 0, timer_delay: float = 0.0):
+        super().__init__()
+        self.fanout = fanout
+        self.ttl = ttl
+        self.timer_delay = timer_delay
+        self.seen: list[tuple[float, int, int]] = []
+
+    def on_start(self) -> None:
+        for d in range(self.fanout):
+            self.send((self.node_id + d + 1) % self.sim_size(), "TOKEN", self.ttl)
+        if self.timer_delay:
+            self.set_timer(self.timer_delay, "tick")
+
+    def sim_size(self) -> int:
+        return len(self.sim.nodes)
+
+    def on_message(self, src: int, kind: str, payload) -> None:
+        self.seen.append((self.now, src, payload))
+        if payload > 0:
+            self.send((self.node_id + 1) % self.sim_size(), "TOKEN", payload - 1)
+
+    def on_timer(self, tag) -> None:
+        self.seen.append((self.now, -1, -1))
+        self.send((self.node_id + 1) % self.sim_size(), "TOKEN", 0)
+
+
+def _traced_run(queue: str, latency, n: int = 5, seed: int = 0) -> tuple[Trace, list]:
+    nodes = [Chatter(fanout=2, ttl=4, timer_delay=1.7 + i) for i in range(n)]
+    net = Network(n, latency=latency, seed=seed)
+    trace = Trace()
+    sim = Simulator(net, nodes, trace=trace, queue=queue)
+    sim.run()
+    return trace, [node.seen for node in nodes]
+
+
+class TestExactReplay:
+    @pytest.mark.parametrize("latency", [None, ConstantLatency(2.0)])
+    def test_constant_latency_replay(self, latency):
+        heap_trace, heap_seen = _traced_run("heap", latency)
+        cal_trace, cal_seen = _traced_run("calendar", latency)
+        assert heap_trace.records == cal_trace.records
+        assert heap_seen == cal_seen
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_latency_replay(self, seed):
+        # random latencies make nearly every bucket distinct — the
+        # calendar queue's worst case must still replay exactly
+        heap_trace, heap_seen = _traced_run(
+            "heap", UniformLatency(0.2, 3.0), seed=seed
+        )
+        cal_trace, cal_seen = _traced_run(
+            "calendar", UniformLatency(0.2, 3.0), seed=seed
+        )
+        assert heap_trace.records == cal_trace.records
+        assert heap_seen == cal_seen
+
+    def test_lid_metrics_identical_across_queues(self):
+        ps = random_ps(20, 0.3, 2, seed=5, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        results = {}
+        for queue in ("heap", "calendar"):
+            # run_lid builds its own Simulator; drive the scheduler
+            # directly to control the queue discipline
+            from repro.core.lid import LidNode, _extract_matching
+
+            nodes = [
+                LidNode(wt.weight_list(i), ps.quota(i)) for i in range(wt.n)
+            ]
+            sim = Simulator(Network(wt.n), nodes, queue=queue)
+            metrics = sim.run()
+            results[queue] = (
+                _extract_matching(nodes).edge_set(),
+                metrics.sent_by_kind,
+                metrics.sent_by_node,
+                metrics.events,
+                metrics.end_time,
+                sim.late_messages,
+                [node.props_sent for node in nodes],
+                [node.rejs_sent for node in nodes],
+            )
+        assert results["heap"] == results["calendar"]
+
+
+class TestQueueSelection:
+    def test_auto_picks_calendar_for_constant_latency(self):
+        sim = Simulator(Network(2), [Chatter(), Chatter()])
+        assert sim.queue_mode == "calendar"
+
+    def test_auto_picks_heap_for_random_latency(self):
+        sim = Simulator(
+            Network(2, latency=UniformLatency()), [Chatter(), Chatter()]
+        )
+        assert sim.queue_mode == "heap"
+
+    def test_auto_picks_heap_for_bandwidth_model(self):
+        sim = Simulator(Network(2, bandwidth=4.0), [Chatter(), Chatter()])
+        assert sim.queue_mode == "heap"
+
+    def test_unknown_queue_rejected(self):
+        with pytest.raises(ValueError, match="queue"):
+            Simulator(Network(2), [Chatter(), Chatter()], queue="fifo")
+
+
+class TestQueueBookkeeping:
+    def test_pending_events_tracks_both_disciplines(self):
+        for queue in ("heap", "calendar"):
+            nodes = [Chatter(fanout=2, ttl=0), Chatter(), Chatter()]
+            sim = Simulator(Network(3), nodes, queue=queue)
+            sim.start()
+            assert sim.pending_events() == 2
+            assert sim.step() is True
+            assert sim.pending_events() == 1
+            while sim.step():
+                pass
+            assert sim.pending_events() == 0
+            assert sim.step() is False
+
+    def test_reference_lid_uses_calendar_by_default(self):
+        ps = random_ps(8, 0.5, 2, seed=2, ensure_edges=True)
+        res = run_lid(satisfaction_weights(ps), list(ps.quotas))
+        assert res.matching is not None  # calendar path exercised end-to-end
