@@ -10,6 +10,8 @@ Public surface:
 - :func:`~repro.core.lic.lic_matching` — Algorithm 2 (centralised),
 - :func:`~repro.core.lid.run_lid` / :func:`~repro.core.lid.solve_lid` —
   Algorithm 1 (distributed, on the event simulator),
+- :func:`~repro.core.resilient_lid.run_resilient_lid` — Algorithm 1 on
+  reliable channels with failure detection (crashes, partitions),
 - :func:`~repro.core.fast_lid.lid_matching_fast` — Algorithm 1's
   round-batched fast engine (default channels, bit-identical results),
 - :mod:`~repro.core.analysis` — certificates and theorem bounds,
@@ -39,6 +41,12 @@ from repro.core.fast_lid import FastLidResult, lid_matching_fast
 from repro.core.lic import lic_matching, lic_matching_pool, solve_modified_bmatching
 from repro.core.mixed import MixedRunResult, run_mixed_adoption
 from repro.core.lid import LidNode, LidResult, run_lid, solve_lid
+from repro.core.resilient_lid import (
+    ResilientLidNode,
+    ResilientLidResult,
+    make_byzantine_resilient,
+    run_resilient_lid,
+)
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
 from repro.core.satisfaction import (
@@ -78,6 +86,10 @@ __all__ = [
     "solve_modified_bmatching",
     "LidNode",
     "LidResult",
+    "ResilientLidNode",
+    "ResilientLidResult",
+    "make_byzantine_resilient",
+    "run_resilient_lid",
     "run_lid",
     "solve_lid",
     "delta_full",

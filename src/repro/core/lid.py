@@ -81,8 +81,26 @@ class LidNode(ProtocolNode):
         message loss; the faithful Algorithm 1 uses ``polite=False``.
     retransmit_timeout:
         When set (virtual time units), outstanding proposals are
-        re-sent after this delay until answered — the minimal reliability
-        wrapper evaluated in experiment A2.
+        re-sent until answered — the minimal reliability wrapper
+        evaluated in experiment A2.  This is the *base* retry delay;
+        the schedule is governed by ``backoff``.
+    backoff:
+        Retry schedule: ``"exponential"`` (default) doubles the delay
+        per unanswered retry up to ``backoff_cap``, with up to 10%
+        deterministic jitter when ``retransmit_rng`` is given;
+        ``"none"`` is the legacy fixed-timer behaviour (every retry
+        after exactly ``retransmit_timeout``).
+    backoff_cap:
+        Upper bound of the exponential delay (default
+        ``8 * retransmit_timeout``).
+    retransmit_rng:
+        Seeded generator for retry jitter (``None`` = no jitter).
+        :func:`run_lid` spawns one per node off the run seed.
+
+    Retransmissions are counted in :attr:`retransmits_sent` (and in
+    :attr:`SimMetrics.retransmissions`), *separately* from the fresh
+    proposals in :attr:`props_sent`, so reliability overhead never
+    contaminates the paper's message-complexity statistics.
     """
 
     def __init__(
@@ -91,12 +109,29 @@ class LidNode(ProtocolNode):
         quota: int,
         polite: bool = False,
         retransmit_timeout: Optional[float] = None,
+        backoff: str = "exponential",
+        backoff_cap: Optional[float] = None,
+        retransmit_rng=None,
     ):
         super().__init__()
         self.weight_list: list[int] = list(weight_list)
         self.quota = int(quota)
         self.polite = polite
         self.retransmit_timeout = retransmit_timeout
+        if backoff not in ("none", "exponential"):
+            raise ValueError(
+                f"backoff must be 'none' or 'exponential', got {backoff!r}"
+            )
+        self.backoff = backoff
+        if backoff_cap is not None and retransmit_timeout is not None:
+            if backoff_cap < retransmit_timeout:
+                raise ValueError(
+                    f"backoff_cap ({backoff_cap}) below retransmit_timeout "
+                    f"({retransmit_timeout})"
+                )
+        self.backoff_cap = backoff_cap
+        self._retx_rng = retransmit_rng
+        self._attempts: dict[int, int] = {}  # per-peer unanswered retries
         # protocol sets (paper names)
         self.unresolved: set[int] = set()   # U_i
         self.proposed: set[int] = set()     # P_i
@@ -107,6 +142,7 @@ class LidNode(ProtocolNode):
         # statistics
         self.props_sent = 0
         self.rejs_sent = 0
+        self.retransmits_sent = 0
         self.anomalies = 0
 
     # -- protocol ------------------------------------------------------
@@ -128,7 +164,7 @@ class LidNode(ProtocolNode):
                 # can happen except from Byzantine peers.
                 if self.retransmit_timeout is not None and payload == "retry":
                     self.send(src, PROP)
-                    self.props_sent += 1
+                    self._count_retransmit()
                 else:
                     self.anomalies += 1
                 return
@@ -162,11 +198,29 @@ class LidNode(ProtocolNode):
         j = tag
         if j in self.proposed and j not in self.locked:
             self.send(j, PROP, payload="retry")
-            self.props_sent += 1
+            self._count_retransmit()
             assert self.retransmit_timeout is not None
-            self.set_timer(self.retransmit_timeout, j)
+            self._attempts[j] = self._attempts.get(j, 0) + 1
+            self.set_timer(self._retx_delay(j), j)
 
     # -- internals -------------------------------------------------------
+
+    def _count_retransmit(self) -> None:
+        self.retransmits_sent += 1
+        if self.sim is not None:
+            self.sim.metrics.retransmissions += 1
+
+    def _retx_delay(self, j: int) -> float:
+        """Delay until the next retry of the proposal to ``j``."""
+        base = self.retransmit_timeout
+        assert base is not None
+        if self.backoff == "none":
+            return base
+        cap = self.backoff_cap if self.backoff_cap is not None else 8.0 * base
+        d = min(base * 2.0 ** self._attempts.get(j, 0), cap)
+        if self._retx_rng is not None:
+            d *= 1.0 + 0.1 * float(self._retx_rng.random())
+        return d
 
     def _outstanding(self) -> set[int]:
         """``P_i \\ K_i`` — proposals awaiting an answer."""
@@ -177,7 +231,7 @@ class LidNode(ProtocolNode):
         self.send(j, PROP)
         self.props_sent += 1
         if self.retransmit_timeout is not None:
-            self.set_timer(self.retransmit_timeout, j)
+            self.set_timer(self._retx_delay(j), j)
 
     def _top_up(self) -> bool:
         """Propose to best unproposed unresolved neighbours up to quota."""
@@ -304,6 +358,7 @@ def run_lid(
     trace: Optional[Trace] = None,
     drop_filter=None,
     retransmit_timeout: Optional[float] = None,
+    backoff: str = "exponential",
     enforce_links: bool = True,
     max_events: Optional[int] = None,
 ) -> LidResult:
@@ -315,11 +370,18 @@ def run_lid(
     set) — a consequence of Lemmas 3–6 that the test suite checks
     property-style.
 
+    With ``retransmit_timeout`` set, retries follow a capped
+    exponential ``backoff`` schedule with per-node seeded jitter
+    (``backoff="none"`` restores the legacy fixed timer); see
+    :class:`LidNode`.
+
     Returns
     -------
     LidResult
         Matching plus message/time accounting.
     """
+    from repro.utils.rng import spawn_rng
+
     n = wt.n
     if len(quotas) != n:
         raise ValueError(f"quotas length {len(quotas)} != n={n}")
@@ -331,6 +393,12 @@ def run_lid(
             quotas[i],
             polite=polite,
             retransmit_timeout=retransmit_timeout,
+            backoff=backoff,
+            retransmit_rng=(
+                spawn_rng(seed, "lid-retransmit", str(i))
+                if retransmit_timeout is not None and backoff != "none"
+                else None
+            ),
         )
         for i in range(n)
     ]
@@ -370,6 +438,8 @@ def solve_lid(
     seed: int = 0,
     trace: Optional[Trace] = None,
     backend: str = "reference",
+    drop_filter=None,
+    retransmit_timeout: Optional[float] = None,
 ) -> tuple[LidResult, WeightTable]:
     """End-to-end LID pipeline for a preference system.
 
@@ -383,8 +453,14 @@ def solve_lid(
     round-batched :func:`repro.core.fast_lid.lid_matching_fast` engine,
     returning a bit-identical matching and message statistics at a
     fraction of the cost.  It therefore rejects a custom ``latency`` /
-    ``trace`` / non-FIFO configuration: those need the general
-    event-by-event simulator.  The fast result mirrors
+    ``trace`` / non-FIFO configuration **and any fault-injected run**
+    (``drop_filter`` / ``retransmit_timeout``): round batching is only
+    exact when every sent message is delivered exactly one round later,
+    which loss and retransmission timers break.  Such runs raise
+    :class:`ValueError` naming the fallback — re-run with
+    ``backend="reference"``, the event-by-event simulator, which
+    executes them faithfully (the fallback is tested end-to-end in
+    ``tests/core/test_backend.py``).  The fast result mirrors
     :class:`LidResult` except that per-node statistics live in
     ``props_sent`` / ``rejs_sent`` arrays rather than node objects.
     """
@@ -398,6 +474,14 @@ def solve_lid(
                 "unit-latency channels; use backend='reference' for custom "
                 "latency, tracing, or non-FIFO runs"
             )
+        if drop_filter is not None or retransmit_timeout is not None:
+            raise ValueError(
+                "backend='fast' cannot replay fault-injected runs: message "
+                "loss and retransmission timers break the one-round delivery "
+                "assumption of the round-batched engine; use "
+                "backend='reference' (the event-by-event simulator) for "
+                "drop_filter / retransmit_timeout runs"
+            )
         from repro.core.fast import FastInstance
         from repro.core.fast_lid import lid_matching_fast
 
@@ -406,6 +490,15 @@ def solve_lid(
         result.matching.validate(ps)
         return result, fi.weight_table()
     wt = satisfaction_weights(ps)
-    result = run_lid(wt, ps.quotas, latency=latency, fifo=fifo, seed=seed, trace=trace)
+    result = run_lid(
+        wt,
+        ps.quotas,
+        latency=latency,
+        fifo=fifo,
+        seed=seed,
+        trace=trace,
+        drop_filter=drop_filter,
+        retransmit_timeout=retransmit_timeout,
+    )
     result.matching.validate(ps)
     return result, wt

@@ -11,8 +11,14 @@ This package provides the substrate that executes such protocols:
   FIFO enforcement and failure-injection hooks,
 - :mod:`repro.distsim.node` — the protocol-node base class,
 - :mod:`repro.distsim.metrics` — message and timing accounting,
-- :mod:`repro.distsim.failures` — message loss / crash / Byzantine
-  adapters for the robustness experiments (paper §7 future work),
+- :mod:`repro.distsim.failures` — message loss / crash / partition /
+  link-flap / Byzantine adapters for the robustness experiments
+  (paper §7 future work),
+- :mod:`repro.distsim.reliable` — opt-in reliable channels (per-link
+  sequence numbers, ACKs, capped exponential backoff retransmission,
+  duplicate suppression) plus a heartbeat failure detector,
+- :mod:`repro.distsim.invariants` — a runtime monitor checking quota /
+  locality / lock-symmetry invariants at every delivery,
 - :mod:`repro.distsim.tracing` — structured execution traces.
 
 Determinism: given the same seed and protocol, every run produces an
@@ -31,7 +37,15 @@ from repro.distsim.network import (
 from repro.distsim.node import ProtocolNode
 from repro.distsim.scheduler import Simulator
 from repro.distsim.metrics import SimMetrics
-from repro.distsim.failures import BernoulliLoss, CrashSchedule
+from repro.distsim.failures import (
+    BernoulliLoss,
+    CrashSchedule,
+    LinkFlap,
+    PartitionSchedule,
+    compose_drops,
+)
+from repro.distsim.invariants import InvariantMonitor
+from repro.distsim.reliable import BackoffPolicy, ReliableNode
 from repro.distsim.tracing import Trace, TraceRecord
 
 __all__ = [
@@ -45,6 +59,12 @@ __all__ = [
     "SimMetrics",
     "BernoulliLoss",
     "CrashSchedule",
+    "PartitionSchedule",
+    "LinkFlap",
+    "compose_drops",
+    "BackoffPolicy",
+    "ReliableNode",
+    "InvariantMonitor",
     "Trace",
     "TraceRecord",
 ]

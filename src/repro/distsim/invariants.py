@@ -1,0 +1,183 @@
+"""Runtime safety-invariant monitor for LID-family protocol runs.
+
+The robustness claims of the resilient runtime are *safety* properties
+that should hold at every state transition, not just at the end of a
+run — a transiently violated quota that later self-corrects would never
+show up in a final-matching check.  :class:`InvariantMonitor` plugs
+into the simulator (``Simulator(..., monitor=...)``) and re-checks the
+receiving node after **every delivery**:
+
+- **quota** — an honest node never holds more locks than its quota;
+- **locality** — locks only ever point at overlay neighbours;
+- **no-duplicate-lock** — a pair locks at most once per run (a released
+  pair is withdrawn, never re-locked);
+- **lock justification** (the per-delivery form of symmetry) — a fresh
+  lock on an honest live peer is only legal when that peer actually
+  proposed: the peer's state must show us in ``proposed``/``locked``,
+  or the peer must have *withdrawn* us (its revocation is in flight).
+
+Full symmetry is inherently an *eventual* property (mutual locks form
+one observation apart, and revocations take a round trip), so it is
+checked at quiescence by :meth:`InvariantMonitor.at_quiescence`:
+every lock between live honest nodes must be mutual.
+
+Only the receiving node is inspected per delivery (its state is the
+only one that changed), so monitoring costs O(quota) per message, not
+O(n).
+
+Violations are collected as strings in :attr:`InvariantMonitor.violations`;
+with ``strict=True`` the first one raises
+:class:`~repro.utils.validation.ProtocolError` at the exact delivery
+that broke the invariant, which turns a campaign cell into a
+debuggable stack trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.utils.validation import ProtocolError
+
+__all__ = ["InvariantMonitor"]
+
+
+class InvariantMonitor:
+    """Checks quota / locality / lock invariants at every delivery.
+
+    Parameters
+    ----------
+    quotas:
+        Per-node connection quotas ``b_i``.
+    adjacency:
+        Per-node neighbour sets (the overlay's legal partners).
+    honest:
+        Ids of protocol-abiding nodes (default: everyone).  Byzantine
+        nodes are exempt from the checks — the point is that *honest*
+        state stays safe no matter what the others do.
+    strict:
+        Raise :class:`ProtocolError` on the first violation instead of
+        collecting it.
+    """
+
+    def __init__(
+        self,
+        quotas: Sequence[int],
+        adjacency: Sequence[Iterable[int]],
+        honest: Optional[Iterable[int]] = None,
+        strict: bool = False,
+    ):
+        if len(quotas) != len(adjacency):
+            raise ValueError(
+                f"quotas ({len(quotas)}) and adjacency ({len(adjacency)}) disagree on n"
+            )
+        self.quotas = [int(q) for q in quotas]
+        self.adjacency = [frozenset(a) for a in adjacency]
+        self.honest = (
+            frozenset(range(len(quotas))) if honest is None else frozenset(honest)
+        )
+        self.strict = strict
+        self.violations: list[str] = []
+        self.deliveries_checked = 0
+        self._prev_locked: dict[int, frozenset[int]] = {}
+        self._ever_locked: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _record(self, time: float, text: str) -> None:
+        entry = f"t={time:g}: {text}"
+        self.violations.append(entry)
+        if self.strict:
+            raise ProtocolError(f"invariant violation at {entry}")
+
+    @property
+    def ok(self) -> bool:
+        """Whether no invariant has been violated so far."""
+        return not self.violations
+
+    # ------------------------------------------------------------------
+
+    def after_delivery(self, sim, node_id: int, msg) -> None:
+        """Re-check the receiving node after a delivery (simulator hook)."""
+        if node_id not in self.honest:
+            return
+        node = sim.nodes[node_id]
+        locked = getattr(node, "locked", None)
+        if locked is None:
+            return  # not a matching protocol node (e.g. a plain test node)
+        self.deliveries_checked += 1
+        now = sim.now
+        if len(locked) > self.quotas[node_id]:
+            self._record(
+                now,
+                f"quota violated: node {node_id} holds {len(locked)} locks "
+                f"(quota {self.quotas[node_id]})",
+            )
+        prev = self._prev_locked.get(node_id, frozenset())
+        fresh = locked - prev
+        if fresh:
+            ever = self._ever_locked.setdefault(node_id, set())
+            for j in fresh:
+                if j not in self.adjacency[node_id]:
+                    self._record(
+                        now, f"locality violated: node {node_id} locked non-neighbour {j}"
+                    )
+                if j in ever:
+                    self._record(
+                        now,
+                        f"duplicate lock: node {node_id} re-locked {j} after a release",
+                    )
+                ever.add(j)
+                self._check_justified(sim, node_id, j, now)
+        self._prev_locked[node_id] = frozenset(locked)
+
+    def _check_justified(self, sim, i: int, j: int, now: float) -> None:
+        """A fresh lock ``i -> j`` needs a live proposal from ``j``."""
+        if j not in self.honest or not (0 <= j < len(sim.nodes)):
+            return  # Byzantine peers fabricate anything; nothing to check
+        peer = sim.nodes[j]
+        if peer.crashed:
+            return  # the PROP predates the crash; extraction drops the edge
+        if (
+            i in getattr(peer, "proposed", ())
+            or i in getattr(peer, "locked", ())
+            or i in getattr(peer, "withdrawn", ())
+            or i in getattr(peer, "suspected", ())
+        ):
+            return
+        self._record(
+            now,
+            f"unjustified lock: node {i} locked {j} but {j} neither proposed "
+            f"to nor withdrew {i}",
+        )
+
+    # ------------------------------------------------------------------
+
+    def at_quiescence(self, sim) -> list[str]:
+        """Final symmetry check over the live honest subgraph.
+
+        Every lock between two live honest nodes must be mutual by the
+        time the event queue has drained — releases and revocations
+        have all been delivered (or their budgets exhausted, which *is*
+        a violation: the runtime failed to restore symmetry).  Returns
+        the violations found by this sweep.
+        """
+        before = len(self.violations)
+        for i in sorted(self.honest):
+            if i >= len(sim.nodes):
+                continue
+            node = sim.nodes[i]
+            if node.crashed:
+                continue
+            for j in getattr(node, "locked", ()):
+                if j not in self.honest or not (0 <= j < len(sim.nodes)):
+                    continue
+                peer = sim.nodes[j]
+                if peer.crashed:
+                    continue
+                if i not in getattr(peer, "locked", ()):
+                    self._record(
+                        sim.now,
+                        f"asymmetric lock at quiescence: {i} locks {j} "
+                        f"but {j} does not lock {i}",
+                    )
+        return self.violations[before:]

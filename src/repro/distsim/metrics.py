@@ -23,6 +23,14 @@ class SimMetrics:
     - ``max_depth``: the longest causal message chain — the exact
       asynchronous round count, independent of the latency model,
     - ``dropped``: messages removed by failure injection,
+    - ``retransmissions``: re-sends of an already-sent message (timer
+      retransmission in :class:`repro.core.lid.LidNode`, unacked-data
+      retries in :class:`repro.distsim.reliable.ReliableNode`) —
+      counted separately from fresh protocol messages so robustness
+      experiments can report the reliability *overhead* distinctly
+      from the protocol's intrinsic message complexity,
+    - ``duplicates_suppressed``: deliveries discarded by the reliable
+      layer's per-link duplicate suppression,
     - ``phase_seconds``: optional wall-clock attribution per pipeline
       phase (``build_weights`` / ``sim_loop`` / ``extract``), filled by
       :func:`repro.core.lid.run_lid` and
@@ -37,6 +45,8 @@ class SimMetrics:
     events: int = 0
     end_time: float = 0.0
     dropped: int = 0
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
     max_depth: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -63,6 +73,7 @@ class SimMetrics:
             "sent": self.total_sent,
             "delivered": self.total_delivered,
             "dropped": self.dropped,
+            "retransmissions": self.retransmissions,
             "events": self.events,
             "end_time": self.end_time,
             **{f"sent_{k}": v for k, v in sorted(self.sent_by_kind.items())},

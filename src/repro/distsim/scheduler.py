@@ -79,6 +79,14 @@ class Simulator:
         (default — calendar for constant-latency networks, heap
         otherwise).  Both disciplines process the exact same event
         sequence; the choice is purely a performance knob.
+    monitor:
+        Optional runtime invariant monitor (an object with an
+        ``after_delivery(sim, node_id, msg)`` method, e.g.
+        :class:`repro.distsim.invariants.InvariantMonitor`): called
+        after every *live* delivery so safety invariants (quota,
+        lock symmetry, no duplicate lock) are checked at each state
+        transition, not just at the end of a run.  ``None`` (default)
+        keeps the delivery hot path monitor-free.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class Simulator:
         nodes: Sequence[ProtocolNode],
         trace: Optional[Trace] = None,
         queue: str = "auto",
+        monitor=None,
     ):
         if len(nodes) > network.n:
             raise ValueError(
@@ -107,6 +116,7 @@ class Simulator:
         self.network = network
         self.nodes: list[ProtocolNode] = list(nodes)
         self.trace = trace
+        self.monitor = monitor
         self.metrics = SimMetrics()
         self.now: float = 0.0
         # heap discipline: one (time, order, kind, node, data) tuple per
@@ -278,6 +288,8 @@ class Simulator:
                 node.on_message(msg.src, msg.kind, msg.payload)
             finally:
                 self._ctx_depth = 0
+            if self.monitor is not None:
+                self.monitor.after_delivery(self, ev_node, msg)
         elif kind == CONTROL:
             data(self)
         elif kind == TIMER:

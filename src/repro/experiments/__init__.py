@@ -6,6 +6,14 @@ metric computation and table printing to this package so results stay
 consistent between tests, benches and EXPERIMENTS.md.
 """
 
+from repro.experiments.campaign import (
+    CampaignCell,
+    CampaignConfig,
+    CampaignResult,
+    effective_blocking_edges,
+    run_campaign,
+    run_cell,
+)
 from repro.experiments.instances import (
     FAMILIES,
     cyclic_roommates,
@@ -20,6 +28,12 @@ from repro.experiments.reporting import format_table, print_table, write_csv
 from repro.experiments.runner import aggregate, sweep
 
 __all__ = [
+    "CampaignCell",
+    "CampaignConfig",
+    "CampaignResult",
+    "effective_blocking_edges",
+    "run_campaign",
+    "run_cell",
     "FAMILIES",
     "cyclic_roommates",
     "family_instance",

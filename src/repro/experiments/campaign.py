@@ -1,0 +1,339 @@
+"""Seeded fault-campaign harness for the resilient LID runtime.
+
+The robustness claims in ``docs/robustness.md`` are quantified over a
+*matrix* of fault configurations, not a single lucky run.  This module
+sweeps that matrix deterministically: every cell is the cross product of
+a loss rate, a crash fraction, a partition/heal toggle and a Byzantine
+fraction, replicated over seeds, and every cell must
+
+- **terminate** — every live honest node finishes;
+- **stay safe** — the :class:`~repro.distsim.invariants.InvariantMonitor`
+  records zero violations (quota, locality, duplicate locks, lock
+  justification, final symmetry);
+- **produce a valid matching** — mutual locks over live honest nodes
+  pass :meth:`~repro.core.matching.Matching.validate`;
+- **certify local optimality on the clean part** — restricted to
+  *clean* nodes (live, honest, untouched by faults — see
+  :meth:`~repro.core.resilient_lid.ResilientLidResult.clean_nodes`),
+  the matching admits no weighted blocking edge.
+
+Cells also report *degradation*: total satisfaction of the live honest
+nodes under faults divided by the satisfaction the same node set earns
+in the fault-free (LIC ≡ LID, Lemmas 4/6) matching.  Faults can only
+hurt the nodes they touch, so this ratio is the honest price of the
+fault configuration.
+
+Used three ways: ``python -m repro campaign`` (CLI),
+``benchmarks/bench_a2_robustness.py`` (the A2 experiment) and the
+``chaos-smoke`` CI job (a single large adversarial cell as a merge
+gate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.analysis import weighted_blocking_edges
+from repro.core.lic import lic_matching
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+from repro.core.resilient_lid import ResilientLidResult, run_resilient_lid
+from repro.core.satisfaction import satisfaction_vector
+from repro.core.weights import WeightTable, satisfaction_weights
+from repro.distsim.failures import BernoulliLoss, CrashSchedule, PartitionSchedule
+from repro.distsim.reliable import BackoffPolicy
+from repro.experiments.instances import random_preference_instance
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "CampaignCell",
+    "CampaignConfig",
+    "CampaignResult",
+    "effective_blocking_edges",
+    "run_campaign",
+    "run_cell",
+]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """The fault matrix swept by :func:`run_campaign`.
+
+    Cells are the cross product ``loss_rates x crash_fracs x
+    partition x byzantine_fracs x seeds``.  Failure-detector and
+    transport parameters are shared across cells; the partition window
+    is sized so suspicion fires *during* the partition and the heal
+    happens well inside the retransmit budget's span, which is the
+    liveness precondition documented in ``docs/robustness.md``.
+    """
+
+    n: int = 60
+    density: float = 0.15
+    quota: int = 3
+    loss_rates: tuple[float, ...] = (0.05, 0.15, 0.3)
+    crash_fracs: tuple[float, ...] = (0.0, 0.05)
+    partition: tuple[bool, ...] = (False, True)
+    byzantine_fracs: tuple[float, ...] = (0.0, 0.1)
+    seeds: tuple[int, ...] = (0, 1)
+    heartbeat_interval: float = 1.0
+    suspect_after: float = 5.0
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    partition_start: float = 3.0
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+        for b in self.byzantine_fracs:
+            if not (0.0 <= b <= 0.5):
+                raise ValueError(f"byzantine fraction {b} outside [0, 0.5]")
+        span = self.backoff.span()
+        window = self.partition_window()
+        if span is not None and span < window[1] - window[0]:
+            raise ValueError(
+                f"retransmit budget span {span:.1f} is shorter than the "
+                f"partition window {window[1] - window[0]:.1f}: revocations "
+                "could be abandoned before the heal, losing lock symmetry "
+                "(see docs/robustness.md); raise BackoffPolicy.budget or "
+                "shrink the window"
+            )
+
+    def partition_window(self) -> tuple[float, float]:
+        """One partition/heal cycle: long enough for suspicion to fire."""
+        start = self.partition_start
+        return (start, start + self.suspect_after + 4.0 * self.heartbeat_interval)
+
+    def cells(self) -> Iterable[tuple[float, float, bool, float, int]]:
+        """Cell coordinates in deterministic sweep order."""
+        for loss in self.loss_rates:
+            for crash in self.crash_fracs:
+                for part in self.partition:
+                    for byz in self.byzantine_fracs:
+                        for seed in self.seeds:
+                            yield (loss, crash, part, byz, seed)
+
+
+@dataclass
+class CampaignCell:
+    """Outcome of one cell of the fault matrix."""
+
+    loss: float
+    crash_frac: float
+    partitioned: bool
+    byzantine_frac: float
+    seed: int
+    terminated: bool
+    violations: list[str]
+    blocking_edges: int
+    valid: bool
+    live_honest: int
+    clean: int
+    matched_edges: int
+    satisfaction: float
+    baseline_satisfaction: float
+    retransmissions: int
+    events: int
+
+    @property
+    def ok(self) -> bool:
+        """The cell's pass condition (gated by chaos-smoke CI)."""
+        return (
+            self.terminated
+            and not self.violations
+            and self.valid
+            and self.blocking_edges == 0
+        )
+
+    @property
+    def degradation(self) -> float:
+        """Live-honest satisfaction relative to the fault-free matching."""
+        if self.baseline_satisfaction <= 0.0:
+            return 1.0
+        return self.satisfaction / self.baseline_satisfaction
+
+    def label(self) -> str:
+        parts = [f"loss={self.loss:g}"]
+        if self.crash_frac:
+            parts.append(f"crash={self.crash_frac:g}")
+        if self.partitioned:
+            parts.append("partition")
+        if self.byzantine_frac:
+            parts.append(f"byz={self.byzantine_frac:g}")
+        parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+
+@dataclass
+class CampaignResult:
+    """All cells of a campaign plus aggregate pass/fail."""
+
+    config: CampaignConfig
+    cells: list[CampaignCell]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.cells)
+
+    @property
+    def failures(self) -> list[CampaignCell]:
+        return [c for c in self.cells if not c.ok]
+
+    def worst_degradation(self) -> float:
+        return min((c.degradation for c in self.cells), default=1.0)
+
+    def rows(self) -> list[dict]:
+        """Table rows for :func:`repro.experiments.reporting.print_table`."""
+        return [
+            {
+                "cell": c.label(),
+                "ok": "yes" if c.ok else "NO",
+                "live": c.live_honest,
+                "clean": c.clean,
+                "edges": c.matched_edges,
+                "degrade": f"{c.degradation:.3f}",
+                "retx": c.retransmissions,
+                "viol": len(c.violations),
+            }
+            for c in self.cells
+        ]
+
+
+def effective_blocking_edges(
+    wt: WeightTable,
+    quotas: Sequence[int],
+    result: ResilientLidResult,
+) -> list[tuple[int, int]]:
+    """Weighted blocking edges of the matching, on the clean subgraph.
+
+    The Lemma 4/6 no-blocking-edge certificate cannot hold verbatim
+    under faults (a node whose partner crashed holds a wasted slot the
+    restricted matching does not show), so it is evaluated where the
+    claim actually applies: both endpoints *clean* (their protocol view
+    equals the extracted matching) and neither endpoint withdrew the
+    other (a withdrawn edge was severed by the failure detector, not
+    declined by greedy choice).  On that subgraph the certificate is
+    exact — any survivor is a genuine protocol bug.
+    """
+    clean = result.clean_nodes()
+    blocked = []
+    for i, j in weighted_blocking_edges(wt, quotas, result.matching):
+        if i not in clean or j not in clean:
+            continue
+        if j in result.nodes[i].withdrawn or i in result.nodes[j].withdrawn:
+            continue
+        blocked.append((i, j))
+    return blocked
+
+
+def _fault_plan(config: CampaignConfig, crash_frac: float, partitioned: bool,
+                byz_frac: float, seed: int, ps: PreferenceSystem):
+    """Deterministically derive crash / partition / Byzantine layout."""
+    n = ps.n
+    rng = spawn_rng(seed, "campaign-plan", f"{crash_frac}", f"{byz_frac}",
+                    "part" if partitioned else "nopart")
+    ids = list(range(n))
+    rng.shuffle(ids)
+    n_byz = int(round(byz_frac * n))
+    byz_ids = ids[:n_byz]
+    modes = ("reject_all", "accept_all")
+    byzantine = {b: modes[k % 2] for k, b in enumerate(byz_ids)}
+    n_crash = int(round(crash_frac * n))
+    crash_ids = ids[n_byz:n_byz + n_crash]
+    crashes = None
+    if crash_ids:
+        times = 1.0 + 5.0 * rng.random(len(crash_ids))
+        crashes = CrashSchedule(
+            [(float(t), int(c)) for t, c in zip(times, crash_ids)]
+        )
+    partitions = None
+    if partitioned:
+        start, end = config.partition_window()
+        half = ids[: n // 2]
+        partitions = PartitionSchedule([(start, end, [half])])
+    return byzantine, crashes, partitions
+
+
+def run_cell(
+    config: CampaignConfig,
+    loss: float,
+    crash_frac: float,
+    partitioned: bool,
+    byz_frac: float,
+    seed: int,
+) -> CampaignCell:
+    """Run and judge a single cell of the fault matrix."""
+    ps = random_preference_instance(config.n, config.density, config.quota,
+                                    seed=seed)
+    wt = satisfaction_weights(ps)
+    quotas = list(ps.quotas)
+    byzantine, crashes, partitions = _fault_plan(
+        config, crash_frac, partitioned, byz_frac, seed, ps
+    )
+
+    result = run_resilient_lid(
+        wt,
+        quotas,
+        seed=seed,
+        drop_filter=BernoulliLoss(loss) if loss > 0 else None,
+        crashes=crashes,
+        partitions=partitions,
+        byzantine=byzantine,
+        backoff=config.backoff,
+        heartbeat_interval=config.heartbeat_interval,
+        suspect_after=config.suspect_after,
+    )
+
+    try:
+        result.matching.validate(ps)
+        valid = True
+    except Exception:
+        valid = False
+    blocked = effective_blocking_edges(wt, quotas, result)
+
+    # degradation: live honest satisfaction vs the fault-free matching
+    live_honest = result.live_honest
+    baseline = lic_matching(wt, quotas)
+    adj_base = [baseline.connections(i) for i in range(ps.n)]
+    adj_fault = [result.matching.connections(i) for i in range(ps.n)]
+    vec_base = satisfaction_vector(ps, adj_base)
+    vec_fault = satisfaction_vector(ps, adj_fault)
+    sat_base = float(sum(vec_base[i] for i in live_honest))
+    sat_fault = float(sum(vec_fault[i] for i in live_honest))
+
+    return CampaignCell(
+        loss=loss,
+        crash_frac=crash_frac,
+        partitioned=partitioned,
+        byzantine_frac=byz_frac,
+        seed=seed,
+        terminated=result.terminated,
+        violations=list(result.violations),
+        blocking_edges=len(blocked),
+        valid=valid,
+        live_honest=len(live_honest),
+        clean=len(result.clean_nodes()),
+        matched_edges=len(result.matching.edges()),
+        satisfaction=sat_fault,
+        baseline_satisfaction=sat_base,
+        retransmissions=result.metrics.retransmissions,
+        events=result.metrics.events,
+    )
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    progress=None,
+) -> CampaignResult:
+    """Sweep the full fault matrix; never raises on a failing cell.
+
+    ``progress`` is an optional callable receiving each finished
+    :class:`CampaignCell` (the CLI uses it to stream the table).
+    """
+    config = config or CampaignConfig()
+    cells = []
+    for loss, crash, part, byz, seed in config.cells():
+        cell = run_cell(config, loss, crash, part, byz, seed)
+        cells.append(cell)
+        if progress is not None:
+            progress(cell)
+    return CampaignResult(config=config, cells=cells)

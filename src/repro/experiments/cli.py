@@ -8,6 +8,9 @@ Entry point (installed via ``python -m repro``):
   comparison of LID vs baselines vs OPT on one scenario;
 - ``python -m repro experiment t1|t2|t4|f4|f6``     — quick versions of
   the named experiments (full versions live in ``benchmarks/``);
+- ``python -m repro campaign [--smoke]``            — seeded fault
+  campaign (loss × crash × partition × Byzantine); ``--smoke`` is the
+  chaos-smoke CI preset and exits non-zero on any invariant violation;
 - ``python -m repro discover --n 60``               — gossip discovery →
   ranking → LID, end to end;
 - ``python -m repro churn --n 50 --events 20``      — a churn session
@@ -171,6 +174,44 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.experiments.campaign import CampaignConfig, run_campaign
+
+    if args.smoke:
+        # the chaos-smoke CI gate: one large adversarial sweep — loss up
+        # to 30%, 5% crashes, one partition/heal cycle, 5% Byzantine
+        config = CampaignConfig(
+            n=args.n or 500,
+            loss_rates=(0.05, 0.3),
+            crash_fracs=(0.05,),
+            partition=(True,),
+            byzantine_fracs=(0.0, 0.05),
+            seeds=tuple(range(args.seeds)),
+        )
+    else:
+        config = CampaignConfig(
+            n=args.n or 60,
+            seeds=tuple(range(args.seeds)),
+        )
+    res = run_campaign(config)
+    print_table(
+        res.rows(),
+        title=f"fault campaign (n={config.n}, {len(res.cells)} cells)",
+    )
+    print(f"worst degradation {res.worst_degradation():.3f}"
+          f" (live-honest satisfaction vs fault-free matching)")
+    if not res.ok:
+        for cell in res.failures:
+            detail = "; ".join(cell.violations[:3]) or (
+                "did not terminate" if not cell.terminated
+                else f"{cell.blocking_edges} blocking edges"
+            )
+            print(f"FAILED cell [{cell.label()}]: {detail}")
+        return 1
+    print("all cells terminated with zero invariant violations")
+    return 0
+
+
 def _cmd_discover(args) -> int:
     from repro.overlay import build_preference_system, discover_knowledge_graph
     from repro.overlay.metrics import PrivateTasteMetric
@@ -250,6 +291,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("list", help="list the experiment inventory")
     p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser(
+        "campaign",
+        help="seeded fault campaign: loss x crash x partition x Byzantine",
+    )
+    p.add_argument("--n", type=int, default=None,
+                   help="nodes per cell (default 60; 500 with --smoke)")
+    p.add_argument("--seeds", type=int, default=2,
+                   help="replications per fault configuration")
+    p.add_argument("--smoke", action="store_true",
+                   help="the chaos-smoke CI preset: one large adversarial"
+                        " sweep, non-zero exit on any violation")
+    p.set_defaults(fn=_cmd_campaign)
 
     p = sub.add_parser("discover", help="gossip discovery -> ranking -> LID pipeline")
     p.add_argument("--n", type=int, default=60)

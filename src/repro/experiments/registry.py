@@ -47,7 +47,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "§1/§2, Lemma 5", "benchmarks/bench_f6_partial_adoption.py"),
     Experiment("a1", "tie-breaking ablation (unique-weights device)",
                "§4", "benchmarks/bench_a1_tiebreak_ablation.py"),
-    Experiment("a2", "loss + Byzantine robustness",
+    Experiment("a2", "fault campaign: loss + crash + partition + Byzantine"
+               " (terminate, zero invariant violations)",
                "§7", "benchmarks/bench_a2_robustness.py"),
     Experiment("a3", "churn: exact incremental repair (centralised)",
                "§7", "benchmarks/bench_a3_churn.py"),

@@ -176,3 +176,133 @@ class TestValidationAndErrors:
         node = LidNode([1, 2], 1)
         assert node.quota == 1 and node.weight_list == [1, 2]
         assert not node.finished
+
+
+class TestRetransmissionPaths:
+    """The retry/duplicate-PROP machinery and timer lifecycle."""
+
+    def _two_nodes(self, **kw):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        return wt
+
+    def test_retry_duplicate_prop_to_locked_partner_is_answered(self):
+        # drop node 0's first PROP: node 1 locks on its own PROP + the
+        # retransmitted one, while node 0's timer keeps firing until the
+        # re-confirmation arrives.  The `payload == "retry"` path must
+        # re-send the lock confirmation instead of flagging an anomaly.
+        wt = self._two_nodes()
+        first = {"dropped": False}
+
+        def drop_first_prop(msg, rng):
+            if msg.src == 0 and msg.kind == "PROP" and not first["dropped"]:
+                first["dropped"] = True
+                return True
+            return False
+
+        res = run_lid(
+            wt, [1, 1], drop_filter=drop_first_prop, retransmit_timeout=3.0,
+            seed=0,
+        )
+        assert res.matching.edge_set() == {(0, 1)}
+        assert all(n.finished for n in res.nodes)
+        assert res.nodes[0].retransmits_sent >= 1
+        assert res.nodes[1].anomalies == 0
+
+    def test_retransmits_counted_separately_from_fresh_props(self):
+        ps = random_ps(15, 0.3, 2, seed=9)
+        wt = satisfaction_weights(ps)
+        clean = run_lid(wt, ps.quotas, seed=1)
+        lossy = run_lid(
+            wt, ps.quotas, drop_filter=BernoulliLoss(0.3),
+            retransmit_timeout=3.0, seed=1,
+        )
+        # fresh proposals stay within the Lemma 5 per-neighbour-once
+        # bound no matter how many retries fire: retries are counted in
+        # retransmits_sent / metrics.retransmissions, never props_sent
+        m = len(list(wt.edges()))
+        assert sum(n.props_sent for n in lossy.nodes) <= 2 * m
+        assert lossy.metrics.retransmissions == sum(
+            n.retransmits_sent for n in lossy.nodes
+        )
+        assert lossy.metrics.retransmissions > 0
+        assert clean.metrics.retransmissions == 0
+        # loss may reorder rejections, but never inflates fresh PROPs
+        # beyond a node's neighbourhood
+        for i, node in enumerate(lossy.nodes):
+            assert node.props_sent <= len(wt.neighbors(i))
+
+    def test_stale_timer_after_resolution_sends_nothing(self):
+        # a retransmit timer that fires after its proposal was answered
+        # must be a no-op (logical cancellation)
+        wt = WeightTable({(0, 1): 3.0, (1, 2): 2.0}, 3)
+        res = run_lid(wt, [1, 1, 1], retransmit_timeout=50.0, seed=0)
+        # everything resolves within a few time units; the 50s timers
+        # fire long after and must not retransmit
+        assert res.metrics.retransmissions == 0
+        assert all(n.finished for n in res.nodes)
+        assert res.nodes[2].retransmits_sent == 0
+
+    def test_finished_node_ignores_timers(self):
+        wt = WeightTable({(0, 1): 1.0}, 2)
+        res = run_lid(wt, [1, 1], retransmit_timeout=40.0, seed=0)
+        assert res.metrics.retransmissions == 0
+
+
+class TestBackoff:
+    def test_exponential_backoff_spaces_out_retries(self):
+        # against a crashed-like silent peer the fixed timer fires ~t/T
+        # times; exponential backoff must fire far fewer
+        ps = random_ps(20, 0.3, 2, seed=7)
+        wt = satisfaction_weights(ps)
+        fixed = run_lid(
+            wt, ps.quotas, drop_filter=BernoulliLoss(0.3),
+            retransmit_timeout=3.0, backoff="none", seed=2,
+        )
+        expo = run_lid(
+            wt, ps.quotas, drop_filter=BernoulliLoss(0.3),
+            retransmit_timeout=3.0, backoff="exponential", seed=2,
+        )
+        assert all(n.finished for n in fixed.nodes)
+        assert all(n.finished for n in expo.nodes)
+        assert fixed.matching.edge_set() == expo.matching.edge_set()
+
+    def test_backoff_none_reproduces_fixed_timer(self):
+        node = LidNode([1], 1, retransmit_timeout=5.0, backoff="none")
+        node._attempts[1] = 7
+        assert node._retx_delay(1) == 5.0
+
+    def test_backoff_delay_doubles_and_caps(self):
+        node = LidNode([1], 1, retransmit_timeout=2.0, backoff="exponential",
+                       backoff_cap=8.0)
+        delays = []
+        for k in range(5):
+            node._attempts[1] = k
+            delays.append(node._retx_delay(1))
+        assert delays == [2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_validates_backoff_args(self):
+        with pytest.raises(ValueError, match="backoff"):
+            LidNode([1], 1, retransmit_timeout=5.0, backoff="bogus")
+        with pytest.raises(ValueError, match="backoff_cap"):
+            LidNode([1], 1, retransmit_timeout=5.0, backoff_cap=1.0)
+
+
+class TestSolveLidFaultParams:
+    def test_fast_backend_rejects_fault_runs(self):
+        ps = random_ps(12, 0.4, 2, seed=3, ensure_edges=True)
+        with pytest.raises(ValueError, match="backend='reference'"):
+            solve_lid(ps, backend="fast", drop_filter=BernoulliLoss(0.1))
+        with pytest.raises(ValueError, match="one-round delivery"):
+            solve_lid(ps, backend="fast", retransmit_timeout=3.0)
+
+    def test_reference_fallback_runs_fault_injection_end_to_end(self):
+        ps = random_ps(12, 0.4, 2, seed=3, ensure_edges=True)
+        result, wt = solve_lid(
+            ps, backend="reference", drop_filter=BernoulliLoss(0.2),
+            retransmit_timeout=3.0, seed=5,
+        )
+        assert all(n.finished for n in result.nodes)
+        result.matching.validate(ps)
+        # and the matching equals the loss-free one (unique greedy fixpoint)
+        clean, _ = solve_lid(ps, backend="reference", seed=5)
+        assert result.matching.edge_set() == clean.matching.edge_set()

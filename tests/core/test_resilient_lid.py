@@ -1,0 +1,176 @@
+"""Tests for the resilient LID runtime (crashes, partitions, Byzantine)."""
+
+import pytest
+
+from repro.core.lid import run_lid
+from repro.core.resilient_lid import run_resilient_lid
+from repro.core.weights import satisfaction_weights
+from repro.distsim.failures import (
+    BernoulliLoss,
+    CrashSchedule,
+    LinkFlap,
+    PartitionSchedule,
+)
+from repro.distsim.reliable import BackoffPolicy
+
+from tests.conftest import random_ps
+
+
+def _instance(n=24, p=0.3, b=2, seed=11):
+    ps = random_ps(n, p, b, seed=seed, ensure_edges=True)
+    wt = satisfaction_weights(ps)
+    return ps, wt, list(ps.quotas)
+
+
+FAST_BACKOFF = BackoffPolicy(base=3.0, factor=2.0, cap=12.0, jitter=0.1, budget=10)
+
+
+class TestFaultFree:
+    def test_matches_plain_lid_exactly(self):
+        ps, wt, quotas = _instance()
+        plain = run_lid(wt, quotas, seed=1)
+        res = run_resilient_lid(wt, quotas, seed=1)
+        assert res.terminated and res.ok
+        assert sorted(res.matching.edges()) == sorted(plain.matching.edges())
+        assert res.asymmetric_locks == 0
+        assert res.suspected_edges == frozenset()
+        res.matching.validate(ps)
+
+    def test_deterministic_replay(self):
+        ps, wt, quotas = _instance()
+        kw = dict(
+            seed=5,
+            drop_filter=BernoulliLoss(0.2),
+            backoff=FAST_BACKOFF,
+            heartbeat_interval=1.0,
+            suspect_after=5.0,
+        )
+        a = run_resilient_lid(wt, quotas, crashes=CrashSchedule([(2.0, 0)]), **kw)
+        b = run_resilient_lid(wt, quotas, crashes=CrashSchedule([(2.0, 0)]), **kw)
+        assert sorted(a.matching.edges()) == sorted(b.matching.edges())
+        assert a.metrics.events == b.metrics.events
+        assert a.metrics.retransmissions == b.metrics.retransmissions
+
+
+class TestCrashes:
+    def test_survivors_terminate_and_release_crashed_partners(self):
+        ps, wt, quotas = _instance()
+        res = run_resilient_lid(
+            wt,
+            quotas,
+            seed=2,
+            crashes=CrashSchedule([(2.0, 0), (3.0, 5)]),
+            backoff=FAST_BACKOFF,
+            heartbeat_interval=1.0,
+            suspect_after=5.0,
+        )
+        assert res.live == frozenset(range(ps.n)) - {0, 5}
+        assert res.terminated and res.ok
+        # nothing in the live matching touches a crashed node
+        for i, j in res.matching.edges():
+            assert i in res.live and j in res.live
+        res.matching.validate(ps)
+
+    def test_unlimited_budget_with_crashes_is_rejected(self):
+        _, wt, quotas = _instance()
+        with pytest.raises(ValueError, match="budget"):
+            run_resilient_lid(
+                wt,
+                quotas,
+                crashes=CrashSchedule([(1.0, 0)]),
+                backoff=BackoffPolicy(budget=None),
+            )
+
+    def test_detector_off_still_terminates_via_budget(self):
+        # without heartbeats/suspicion, exhausted retransmit budgets are
+        # the fallback that releases proposals to crashed peers
+        ps, wt, quotas = _instance()
+        res = run_resilient_lid(
+            wt,
+            quotas,
+            seed=3,
+            crashes=CrashSchedule([(2.0, 1)]),
+            backoff=BackoffPolicy(base=3.0, cap=6.0, jitter=0.0, budget=2),
+            heartbeat_interval=None,
+            suspect_after=None,
+        )
+        assert res.terminated
+
+
+class TestPartitions:
+    def _partitioned(self, seed=4, window=(3.0, 12.0)):
+        ps, wt, quotas = _instance()
+        half = list(range(ps.n // 2))
+        part = PartitionSchedule([(window[0], window[1], [half])])
+        res = run_resilient_lid(
+            wt,
+            quotas,
+            seed=seed,
+            partitions=part,
+            backoff=FAST_BACKOFF,
+            heartbeat_interval=1.0,
+            suspect_after=4.0,
+        )
+        return ps, res
+
+    def test_partition_heal_restores_symmetry(self):
+        ps, res = self._partitioned()
+        assert res.terminated
+        assert res.violations == []
+        assert res.asymmetric_locks == 0
+        res.matching.validate(ps)
+
+    def test_cross_partition_edges_may_be_withdrawn(self):
+        ps, res = self._partitioned()
+        half = set(range(ps.n // 2))
+        for i, j in res.suspected_edges:
+            # withdrawals happen across the cut (or toward a crashed peer;
+            # there are no crashes here)
+            assert (i in half) != (j in half)
+
+    def test_link_flaps_tolerated(self):
+        ps, wt, quotas = _instance()
+        edges = list(wt.edges())[:3]
+        flaps = [
+            LinkFlap(e, period=6.0, down_for=2.0, until=30.0) for e in edges
+        ]
+        res = run_resilient_lid(
+            wt, quotas, seed=6, flaps=flaps, backoff=FAST_BACKOFF,
+            heartbeat_interval=1.0, suspect_after=5.0,
+        )
+        assert res.terminated and res.ok
+        res.matching.validate(ps)
+
+
+class TestByzantine:
+    def test_honest_nodes_safe_under_mixed_byzantine(self):
+        ps, wt, quotas = _instance()
+        res = run_resilient_lid(
+            wt,
+            quotas,
+            seed=7,
+            byzantine={0: "reject_all", 3: "accept_all"},
+            drop_filter=BernoulliLoss(0.1),
+            backoff=FAST_BACKOFF,
+            heartbeat_interval=1.0,
+            suspect_after=5.0,
+        )
+        assert res.terminated and res.ok
+        assert res.honest == frozenset(range(ps.n)) - {0, 3}
+        for i, j in res.matching.edges():
+            assert i in res.honest and j in res.honest
+        res.matching.validate(ps)
+
+    def test_unknown_mode_and_bad_id_rejected(self):
+        _, wt, quotas = _instance()
+        with pytest.raises(ValueError, match="unknown byzantine"):
+            run_resilient_lid(wt, quotas, byzantine={0: "weird"})
+        with pytest.raises(ValueError, match="out of range"):
+            run_resilient_lid(wt, quotas, byzantine={999: "reject_all"})
+
+
+class TestValidation:
+    def test_quota_length_mismatch(self):
+        _, wt, _ = _instance()
+        with pytest.raises(ValueError, match="quotas length"):
+            run_resilient_lid(wt, [1, 2, 3])

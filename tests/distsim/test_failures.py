@@ -5,7 +5,14 @@ import pytest
 
 from repro.core.lid import LidNode
 from repro.core.weights import satisfaction_weights
-from repro.distsim.failures import BernoulliLoss, CrashSchedule, make_byzantine
+from repro.distsim.failures import (
+    BernoulliLoss,
+    CrashSchedule,
+    LinkFlap,
+    PartitionSchedule,
+    compose_drops,
+    make_byzantine,
+)
 from repro.distsim.messages import Message
 from repro.distsim.network import Network
 from repro.distsim.scheduler import Simulator
@@ -81,3 +88,137 @@ class TestByzantine:
     def test_unknown_mode(self):
         with pytest.raises(ValueError, match="unknown byzantine"):
             make_byzantine(LidNode([], 1), "weird")
+
+
+class TestCrashScheduleValidation:
+    def test_rejects_non_positive_time(self):
+        with pytest.raises(ValueError, match="positive"):
+            CrashSchedule([(0.0, 1)])
+        with pytest.raises(ValueError, match="positive"):
+            CrashSchedule([(-3.0, 1)])
+
+    def test_rejects_non_finite_time(self):
+        with pytest.raises(ValueError, match="finite"):
+            CrashSchedule([(float("inf"), 1)])
+
+    def test_rejects_bad_node_ids(self):
+        with pytest.raises(ValueError, match="node id"):
+            CrashSchedule([(1.0, -1)])
+        with pytest.raises(ValueError, match="node id"):
+            CrashSchedule([(1.0, True)])
+        with pytest.raises(ValueError, match="node id"):
+            CrashSchedule([(1.0, "x")])
+
+    def test_install_rejects_unknown_node(self):
+        sched = CrashSchedule([(1.0, 7)])
+        sim = Simulator(Network(2), [_idle_node(), _idle_node()])
+        with pytest.raises(ValueError, match="unknown node 7"):
+            sched.install(sim)
+
+    def test_victims_property(self):
+        sched = CrashSchedule([(1.0, 3), (2.0, 0)])
+        assert sched.victims == frozenset({0, 3})
+
+
+def _idle_node(until=20.0):
+    from repro.distsim.node import ProtocolNode
+
+    class Idle(ProtocolNode):
+        def on_start(self):
+            self.set_timer(until, None)
+
+    return Idle()
+
+
+class TestPartitionSchedule:
+    def test_validates_windows(self):
+        with pytest.raises(ValueError, match="start < end"):
+            PartitionSchedule([(5.0, 5.0, [[0]])])
+        with pytest.raises(ValueError, match="start < end"):
+            PartitionSchedule([(-1.0, 5.0, [[0]])])
+        with pytest.raises(ValueError, match="two groups"):
+            PartitionSchedule([(1.0, 5.0, [[0, 1], [1, 2]])])
+
+    def test_drops_cross_group_only_while_active(self):
+        rng = np.random.default_rng(0)
+        part = PartitionSchedule([(1.0, 5.0, [[0, 1]])])
+        msg_cross = Message(src=0, dst=2, kind="X")
+        msg_within = Message(src=0, dst=1, kind="X")
+        assert not part(msg_cross, rng)  # window not open yet
+        part._open([[0, 1]])
+        assert part.active
+        assert part(msg_cross, rng)
+        assert not part(msg_within, rng)
+        assert part.severed(0, 2) and not part.severed(0, 1)
+        part._heal()
+        assert not part(msg_cross, rng)
+        assert part.partition_drops == 1
+
+    def test_messages_cross_partition_after_heal(self):
+        from repro.distsim.node import ProtocolNode
+
+        class Pinger(ProtocolNode):
+            def __init__(self):
+                super().__init__()
+                self.got = []
+
+            def on_start(self):
+                if self.node_id == 0:
+                    self.set_timer(2.0, "during")
+                    self.set_timer(10.0, "after")
+
+            def on_timer(self, tag):
+                self.send(1, kind=tag)
+
+            def on_message(self, src, kind, payload):
+                self.got.append(kind)
+
+        part = PartitionSchedule([(1.0, 5.0, [[0]])])
+        nodes = [Pinger(), Pinger()]
+        sim = Simulator(Network(2, seed=0, drop_filter=part), nodes)
+        part.install(sim)
+        sim.run()
+        # the in-window send is severed; the post-heal send arrives
+        assert nodes[1].got == ["after"]
+        assert part.partition_drops == 1
+
+
+class TestLinkFlap:
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="link"):
+            LinkFlap((1, 1), period=4.0, down_for=1.0, until=20.0)
+        with pytest.raises(ValueError, match="down_for < period"):
+            LinkFlap((0, 1), period=4.0, down_for=5.0, until=20.0)
+        with pytest.raises(ValueError, match="down_for < period"):
+            LinkFlap((0, 1), period=0.0, down_for=0.0, until=20.0)
+
+    def test_drops_only_while_down_and_only_on_link(self):
+        rng = np.random.default_rng(0)
+        flap = LinkFlap((0, 1), period=4.0, down_for=1.0, until=20.0)
+        on_link = Message(src=1, dst=0, kind="X")
+        off_link = Message(src=0, dst=2, kind="X")
+        assert not flap(on_link, rng)
+        flap._set(True)
+        assert flap.down
+        assert flap(on_link, rng)
+        assert not flap(off_link, rng)
+        assert flap.flap_drops == 1
+
+
+class TestComposeDrops:
+    def test_none_when_empty(self):
+        assert compose_drops() is None
+        assert compose_drops(None, None) is None
+
+    def test_single_filter_returned_as_is(self):
+        loss = BernoulliLoss(1.0)
+        assert compose_drops(None, loss) is loss
+
+    def test_or_composition(self):
+        rng = np.random.default_rng(0)
+        drop_even_src = lambda msg, rng: msg.src % 2 == 0
+        drop_dst_three = lambda msg, rng: msg.dst == 3
+        combo = compose_drops(drop_even_src, None, drop_dst_three)
+        assert combo(Message(src=0, dst=1, kind="X"), rng)
+        assert combo(Message(src=1, dst=3, kind="X"), rng)
+        assert not combo(Message(src=1, dst=2, kind="X"), rng)

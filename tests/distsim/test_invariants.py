@@ -1,0 +1,180 @@
+"""Tests for the runtime safety-invariant monitor."""
+
+import pytest
+
+from repro.core.weights import satisfaction_weights
+from repro.distsim.invariants import InvariantMonitor
+from repro.distsim.network import Network
+from repro.distsim.node import ProtocolNode
+from repro.distsim.scheduler import Simulator
+from repro.utils.validation import ProtocolError
+
+from tests.conftest import random_ps
+
+
+class _Greedy(ProtocolNode):
+    """Minimal well-behaved pair protocol: propose, lock on mutual."""
+
+    def __init__(self, peers, quota):
+        super().__init__()
+        self.peers = list(peers)
+        self.quota = quota
+        self.proposed = set()
+        self.locked = set()
+        self.withdrawn = set()
+        self.suspected = set()
+
+    def on_start(self):
+        for j in self.peers[: self.quota]:
+            self.proposed.add(j)
+            self.send(j, "PROP")
+
+    def on_message(self, src, kind, payload):
+        if src in self.proposed and len(self.locked) < self.quota:
+            self.locked.add(src)
+
+
+class _Rogue(_Greedy):
+    """Locks everyone who talks to it, ignoring quota and proposals."""
+
+    def on_message(self, src, kind, payload):
+        self.locked.add(src)
+
+
+def _ring(n):
+    return [[(i - 1) % n, (i + 1) % n] for i in range(n)]
+
+
+def _run(nodes, adjacency, quotas, strict=False, honest=None):
+    mon = InvariantMonitor(quotas, adjacency, honest=honest, strict=strict)
+    links = {(min(i, j), max(i, j)) for i, a in enumerate(adjacency) for j in a}
+    sim = Simulator(Network(len(nodes), links=links, seed=0), nodes, monitor=mon)
+    sim.run()
+    return mon, sim
+
+
+class TestPerDelivery:
+    def test_clean_protocol_has_no_violations(self):
+        adj = _ring(6)
+        nodes = [_Greedy(adj[i], 2) for i in range(6)]
+        mon, sim = _run(nodes, adj, [2] * 6)
+        assert mon.ok
+        assert mon.deliveries_checked > 0
+        assert mon.at_quiescence(sim) == []
+
+    def test_quota_violation_detected(self):
+        adj = _ring(6)
+        nodes = [_Greedy(adj[i], 2) for i in range(6)]
+        nodes[3] = _Rogue(adj[3], 2)
+        nodes[3].quota = 99  # sends to nobody extra, but locks everyone
+        mon, _ = _run(nodes, adj, [1] * 6)  # monitor believes quota is 1
+        assert any("quota violated" in v for v in mon.violations)
+
+    def test_locality_violation_detected(self):
+        adj = _ring(6)
+
+        class FarLock(_Greedy):
+            def on_message(self, src, kind, payload):
+                self.locked.add((src + 3) % 6)  # locks a non-neighbour
+
+        nodes = [_Greedy(adj[i], 2) for i in range(6)]
+        nodes[2] = FarLock(adj[2], 2)
+        mon, _ = _run(nodes, adj, [2] * 6)
+        assert any("locality violated" in v for v in mon.violations)
+
+    def test_duplicate_lock_detected(self):
+        adj = _ring(4)
+
+        class Relock(_Greedy):
+            # lock -> release -> re-lock across three deliveries: the
+            # monitor must flag the reappearance as a duplicate lock
+            def on_message(self, src, kind, payload):
+                if src in self.locked:
+                    self.locked.discard(src)
+                else:
+                    self.locked.add(src)
+
+        class TripleProp(_Greedy):
+            def on_start(self):
+                super().on_start()
+                self.send(self.peers[0], "PROP")
+                self.send(self.peers[0], "PROP")
+
+        nodes = [TripleProp(adj[i], 2) for i in range(4)]
+        nodes[1] = Relock(adj[1], 2)
+        mon, _ = _run(nodes, adj, [2] * 4)
+        assert any("duplicate lock" in v for v in mon.violations)
+
+    def test_unjustified_lock_detected(self):
+        adj = _ring(4)
+        nodes = [_Greedy(adj[i], 0) for i in range(4)]  # nobody proposes
+
+        class Ping(_Greedy):
+            def on_start(self):
+                self.send(self.peers[0], "HB")  # not a proposal
+
+        nodes[3] = Ping([0], 0)  # pings its ring neighbour 0
+        nodes[0] = _Rogue(adj[0], 2)  # locks 3 despite no proposal from 3
+        mon, _ = _run(nodes, adj, [2] * 4)
+        assert any("unjustified lock" in v for v in mon.violations)
+
+    def test_byzantine_nodes_are_exempt(self):
+        adj = _ring(4)
+        nodes = [_Greedy(adj[i], 2) for i in range(4)]
+        nodes[1] = _Rogue(adj[1], 2)  # would violate quota 0
+        mon, _ = _run(nodes, adj, [0, 0, 0, 0], honest=[0, 2, 3])
+        # the rogue's locks are ignored; honest nodes lock nothing here
+        rogue_violations = [v for v in mon.violations if "node 1" in v]
+        assert rogue_violations == []
+
+    def test_strict_raises_at_the_offending_delivery(self):
+        adj = _ring(6)
+        nodes = [_Greedy(adj[i], 2) for i in range(6)]
+        nodes[3] = _Rogue(adj[3], 2)
+        mon = InvariantMonitor([1] * 6, adj, strict=True)
+        links = {(min(i, j), max(i, j)) for i, a in enumerate(adj) for j in a}
+        sim = Simulator(Network(6, links=links, seed=0), nodes, monitor=mon)
+        with pytest.raises(ProtocolError, match="invariant violation"):
+            sim.run()
+
+
+class TestAtQuiescence:
+    def test_asymmetric_lock_flagged(self):
+        adj = _ring(4)
+        nodes = [_Greedy(adj[i], 2) for i in range(4)]
+        mon, sim = _run(nodes, adj, [2] * 4)
+        base = len(mon.violations)
+        nodes[0].locked.add(1)
+        nodes[1].locked.discard(0)
+        found = mon.at_quiescence(sim)
+        assert any("asymmetric lock" in v for v in found)
+        assert len(mon.violations) > base
+
+    def test_crashed_peers_excluded_from_symmetry(self):
+        adj = _ring(4)
+        nodes = [_Greedy(adj[i], 2) for i in range(4)]
+        mon, sim = _run(nodes, adj, [2] * 4)
+        nodes[0].locked.add(1)
+        nodes[1].locked.discard(0)
+        nodes[1].crashed = True  # the asymmetry is explained by the crash
+        assert mon.at_quiescence(sim) == []
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError, match="disagree"):
+            InvariantMonitor([1, 1], [[1]])
+
+
+class TestEndToEnd:
+    def test_real_lid_run_is_invariant_clean(self):
+        from repro.core.lid import LidNode
+
+        ps = random_ps(16, 0.4, 2, seed=9, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        nodes = [LidNode(wt.weight_list(i), ps.quota(i)) for i in range(ps.n)]
+        adj = [set(wt.neighbors(i)) for i in range(ps.n)]
+        mon = InvariantMonitor(list(ps.quotas), adj)
+        sim = Simulator(Network(ps.n, links=wt.edges(), seed=0), nodes, monitor=mon)
+        sim.run()
+        assert mon.ok
+        assert mon.at_quiescence(sim) == []
+        assert mon.deliveries_checked == sim.metrics.total_delivered

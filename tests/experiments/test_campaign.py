@@ -1,0 +1,101 @@
+"""Tests for the seeded fault-campaign harness."""
+
+import pytest
+
+from repro.distsim.reliable import BackoffPolicy
+from repro.experiments.campaign import (
+    CampaignConfig,
+    run_campaign,
+    run_cell,
+)
+from repro.experiments.cli import main
+
+
+SMALL = CampaignConfig(
+    n=24,
+    loss_rates=(0.1,),
+    crash_fracs=(0.0, 0.08),
+    partition=(False, True),
+    byzantine_fracs=(0.0, 0.1),
+    seeds=(0,),
+)
+
+
+class TestConfig:
+    def test_cell_enumeration_is_the_cross_product(self):
+        cells = list(SMALL.cells())
+        assert len(cells) == 1 * 2 * 2 * 2 * 1
+        assert len(set(cells)) == len(cells)
+
+    def test_rejects_large_byzantine_fraction(self):
+        with pytest.raises(ValueError, match="byzantine"):
+            CampaignConfig(byzantine_fracs=(0.9,))
+
+    def test_rejects_budget_shorter_than_partition(self):
+        # a 2-retry budget gives up long before the partition heals
+        with pytest.raises(ValueError, match="span"):
+            CampaignConfig(
+                backoff=BackoffPolicy(base=0.5, cap=1.0, jitter=0.0, budget=2),
+                suspect_after=20.0,
+            )
+
+    def test_partition_window_outlasts_suspicion(self):
+        cfg = CampaignConfig()
+        start, end = cfg.partition_window()
+        assert end - start > cfg.suspect_after
+
+
+class TestCampaignRuns:
+    def test_every_cell_passes(self):
+        result = run_campaign(SMALL)
+        assert len(result.cells) == 8
+        assert result.ok, [
+            (c.label(), c.violations[:2]) for c in result.failures
+        ]
+        for cell in result.cells:
+            assert cell.terminated
+            assert cell.violations == []
+            assert cell.valid
+            assert cell.blocking_edges == 0
+            assert 0.0 < cell.degradation <= 1.0 + 1e-9
+
+    def test_fault_free_ish_cell_keeps_welfare(self):
+        cell = run_cell(SMALL, loss=0.1, crash_frac=0.0, partitioned=False,
+                        byz_frac=0.0, seed=0)
+        assert cell.ok
+        assert cell.degradation > 0.9
+        assert cell.live_honest == SMALL.n
+        assert cell.clean >= SMALL.n - 4
+
+    def test_cells_are_deterministic(self):
+        a = run_cell(SMALL, 0.1, 0.08, True, 0.1, seed=0)
+        b = run_cell(SMALL, 0.1, 0.08, True, 0.1, seed=0)
+        assert a.satisfaction == b.satisfaction
+        assert a.events == b.events
+        assert a.retransmissions == b.retransmissions
+
+    def test_progress_callback_streams_cells(self):
+        seen = []
+        run_campaign(SMALL, progress=seen.append)
+        assert len(seen) == 8
+        assert all(c.ok for c in seen)
+
+    def test_rows_render(self):
+        result = run_campaign(SMALL)
+        rows = result.rows()
+        assert len(rows) == 8
+        assert {"cell", "ok", "degrade", "viol"} <= set(rows[0])
+
+
+class TestCampaignCli:
+    def test_campaign_command_passes(self, capsys):
+        assert main(["campaign", "--n", "16", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out
+        assert "zero invariant violations" in out
+
+    def test_campaign_smoke_flag_parses(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["campaign", "--smoke"])
+        assert args.smoke and args.n is None and args.seeds == 2
