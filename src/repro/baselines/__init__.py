@@ -37,7 +37,13 @@ from repro.baselines.stable_fixtures import (
     phase1,
     stable_fixtures_matching,
 )
-from repro.baselines.verify import blocking_pairs, count_blocking_pairs, is_stable
+from repro.baselines.verify import (
+    blocking_pairs,
+    check_matching,
+    count_blocking_pairs,
+    is_stable,
+    stability_report,
+)
 
 __all__ = [
     "BestResponseResult",
@@ -68,6 +74,8 @@ __all__ = [
     "phase1",
     "stable_fixtures_matching",
     "blocking_pairs",
+    "check_matching",
+    "stability_report",
     "count_blocking_pairs",
     "is_stable",
 ]

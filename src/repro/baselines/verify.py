@@ -6,6 +6,14 @@ lists* — most importantly b-matching **stability** (no blocking pair),
 the solution concept of the stable fixtures problem the paper
 generalises.
 
+Structured verification (feasibility, locality, satisfaction
+recomputation, eq.-9 consistency, theorem bounds) lives in
+:mod:`repro.testing.oracles`; :func:`check_matching` and
+:func:`stability_report` are the entry points here and return typed
+:class:`~repro.testing.oracles.OracleReport` objects.  The historical
+boolean-only certifier :func:`verify_matching` is kept as a deprecated
+shim over the oracle layer.
+
 Definitions (Irving & Scott [7], Cechlárová & Fleiner [1]):
 a pair ``(i, j) ∈ E \\ M`` *blocks* matching ``M`` when both endpoints
 would rather have the edge, where node ``v`` would rather have ``(v,u)``
@@ -15,10 +23,21 @@ least one current partner.
 
 from __future__ import annotations
 
+import warnings
+from typing import Optional
+
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable
 
-__all__ = ["blocking_pairs", "is_stable", "count_blocking_pairs"]
+__all__ = [
+    "blocking_pairs",
+    "is_stable",
+    "count_blocking_pairs",
+    "check_matching",
+    "stability_report",
+    "verify_matching",
+]
 
 Edge = tuple[int, int]
 
@@ -51,9 +70,66 @@ def count_blocking_pairs(ps: PreferenceSystem, matching: Matching) -> int:
 def is_stable(ps: PreferenceSystem, matching: Matching) -> bool:
     """Whether ``matching`` is a stable b-matching for ``ps``.
 
-    Feasibility is checked first; an infeasible matching is never
-    considered stable.
+    Feasibility is checked first (through the oracle layer); an
+    infeasible matching is never considered stable.
     """
-    if not matching.is_feasible(ps):
-        return False
-    return not blocking_pairs(ps, matching)
+    return stability_report(ps, matching).ok
+
+
+def check_matching(
+    ps: PreferenceSystem,
+    matching: Matching,
+    wt: Optional[WeightTable] = None,
+    bounds: bool = False,
+):
+    """Structured verification via :mod:`repro.testing.oracles`.
+
+    Runs quota feasibility, edge locality, mutual consistency and the
+    exact eq.-1/4 satisfaction recomputation (plus eq.-9 weight
+    consistency when ``wt`` is given and the Theorem 1/3 bounds when
+    ``bounds=True``), returning an
+    :class:`~repro.testing.oracles.OracleReport` of typed violations.
+    """
+    from repro.testing.oracles import verify_matching as _verify
+
+    return _verify(ps, matching, wt=wt, bounds=bounds)
+
+
+def stability_report(ps: PreferenceSystem, matching: Matching):
+    """Feasibility (oracle layer) plus blocking pairs, as typed records."""
+    from repro.testing.oracles import (
+        OracleReport,
+        Violation,
+        check_edge_locality,
+        check_mutual_consistency,
+        check_quota,
+    )
+
+    report = OracleReport()
+    report.extend(check_quota(ps, matching))
+    report.extend(check_edge_locality(ps, matching))
+    report.extend(check_mutual_consistency(ps, matching))
+    report.checks_run.append("stability")
+    for pair in blocking_pairs(ps, matching):
+        report.violations.append(Violation(
+            check="stability", subject=pair,
+            message=f"pair {pair} blocks the matching",
+        ))
+    return report
+
+
+def verify_matching(ps: PreferenceSystem, matching: Matching) -> bool:
+    """Deprecated boolean certifier — use :func:`check_matching`.
+
+    Returns ``True`` iff the matching passes the oracle battery (quota,
+    locality, mutual consistency, satisfaction recomputation).  Kept so
+    pre-conformance callers keep working; the boolean discards the
+    violation records that say *what* failed.
+    """
+    warnings.warn(
+        "verify_matching() is deprecated; use check_matching() for the "
+        "structured OracleReport",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return check_matching(ps, matching).ok

@@ -11,6 +11,11 @@ Entry point (installed via ``python -m repro``):
 - ``python -m repro campaign [--smoke]``            — seeded fault
   campaign (loss × crash × partition × Byzantine); ``--smoke`` is the
   chaos-smoke CI preset and exits non-zero on any invariant violation;
+- ``python -m repro conformance [--smoke]``         — cross-backend
+  differential sweep + oracle battery + mutation smoke; ``--smoke`` is
+  the conformance-smoke CI preset and exits non-zero iff a divergence /
+  oracle violation is found or a planted bug goes uncaught;
+  ``--replay FILE`` re-runs a minimised repro file deterministically;
 - ``python -m repro discover --n 60``               — gossip discovery →
   ranking → LID, end to end;
 - ``python -m repro churn --n 50 --events 20``      — a churn session
@@ -212,6 +217,69 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    from repro.testing import (
+        conformance_sweep,
+        load_repro,
+        mutation_smoke,
+        replay_repro,
+    )
+    from repro.testing.conformance import smoke_specs
+
+    if args.replay:
+        repro = load_repro(args.replay)
+        reproduces, report = replay_repro(repro)
+        print(f"repro: {repro.description or '(no description)'}")
+        print(f"instance: n={repro.instance.n} m={repro.instance.m}"
+              f" seed={repro.seed}"
+              + (f" mutation={repro.mutation}" if repro.mutation else ""))
+        print(f"recorded kinds: {list(repro.divergence_kinds)}")
+        kinds = sorted({d.kind for d in report.divergences})
+        print(f"replayed kinds: {kinds}")
+        for d in report.divergences:
+            print(f"  [{d.kind}] {d.left} vs {d.right}: {d.detail}")
+        if not reproduces:
+            print("REPLAY MISMATCH: recorded divergences did not reproduce")
+            return 1
+        print("replay reproduces the recorded outcome exactly")
+        return 0
+
+    max_n = args.max_n or (300 if args.smoke else 120)
+    seeds = tuple(range(args.seeds))
+    specs = smoke_specs(max_n=max_n, seeds=seeds)
+    sweep = conformance_sweep(specs)
+    print_table(
+        [c.row() for c in sweep.cells],
+        title=f"conformance sweep — {len(sweep.cells)} cells,"
+              f" {len(sweep.cells[0].report.runs)} pipelines each",
+    )
+    smoke = mutation_smoke(out_dir=args.out)
+    rows = [
+        {"mutation": o.mutation,
+         "caught": "yes" if o.caught else "MISSED",
+         "minimal": f"n={o.repro.instance.n} m={o.repro.instance.m}"
+         if o.repro else "-",
+         "kinds": ",".join(o.divergence_kinds) or "-"}
+        for o in smoke.outcomes
+    ]
+    print_table(rows, title="mutation smoke — every planted bug must be caught")
+    if args.out:
+        print(f"minimised repro files written to {args.out}")
+    ok = sweep.ok and smoke.ok
+    if not sweep.ok:
+        for cell in sweep.failures:
+            print(f"DIVERGENCE in cell [{cell.spec.label()}]:")
+            for d in cell.report.divergences[:5]:
+                print(f"  [{d.kind}] {d.left} vs {d.right}: {d.detail}")
+    if not smoke.ok:
+        print(f"UNCAUGHT planted bugs: {', '.join(smoke.missed)}")
+    if not ok:
+        return 1
+    print(f"all {len(sweep.cells)} cells agree across backends;"
+          f" all {len(smoke.outcomes)} planted bugs caught")
+    return 0
+
+
 def _cmd_discover(args) -> int:
     from repro.overlay import build_preference_system, discover_knowledge_graph
     from repro.overlay.metrics import PrivateTasteMetric
@@ -304,6 +372,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the chaos-smoke CI preset: one large adversarial"
                         " sweep, non-zero exit on any violation")
     p.set_defaults(fn=_cmd_campaign)
+
+    p = sub.add_parser(
+        "conformance",
+        help="differential sweep + oracle battery + mutation smoke",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="the conformance-smoke CI preset: sweep up to"
+                        " n=300, plant every mutation, non-zero exit on"
+                        " any divergence or uncaught bug")
+    p.add_argument("--max-n", type=int, default=None,
+                   help="largest sweep instance (default 120; 300 with"
+                        " --smoke)")
+    p.add_argument("--seeds", type=int, default=1,
+                   help="replications per sweep cell")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write minimised repro files for caught"
+                        " mutations into DIR")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="re-run a conformance_repro JSON file and check"
+                        " the recorded divergences reproduce")
+    p.set_defaults(fn=_cmd_conformance)
 
     p = sub.add_parser("discover", help="gossip discovery -> ranking -> LID pipeline")
     p.add_argument("--n", type=int, default=60)

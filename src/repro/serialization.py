@@ -1,14 +1,17 @@
-"""JSON (de)serialisation of instances and matchings.
+"""JSON (de)serialisation of instances, matchings and repro files.
 
 Experiments become shareable artefacts: a
 :class:`~repro.core.preferences.PreferenceSystem`, a
-:class:`~repro.core.weights.WeightTable` or a
-:class:`~repro.core.matching.Matching` can be dumped to a plain-JSON
-document and reconstructed exactly (rankings and quotas are integers;
-weights round-trip through ``repr``-exact floats).
+:class:`~repro.core.weights.WeightTable`, a
+:class:`~repro.core.matching.Matching` or a conformance
+:class:`~repro.testing.minimise.ConformanceRepro` can be dumped to a
+plain-JSON document and reconstructed exactly (rankings and quotas are
+integers; weights round-trip through ``repr``-exact floats).
 
 Every dict carries a ``"type"`` tag so files are self-describing;
-:func:`load_json` dispatches on it.
+:func:`load_json` dispatches on it.  The ``conformance_repro`` tag is
+delegated to :mod:`repro.testing.minimise` (imported lazily — loading
+a plain instance never pulls in the conformance machinery).
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ __all__ = [
 ]
 
 
-def to_dict(obj: PreferenceSystem | WeightTable | Matching) -> dict:
+def to_dict(obj) -> dict:
     """Serialise a library object to a JSON-compatible dict."""
     if isinstance(obj, PreferenceSystem):
         return {
@@ -48,10 +51,14 @@ def to_dict(obj: PreferenceSystem | WeightTable | Matching) -> dict:
             "n": obj.n,
             "edges": [list(e) for e in obj.edges()],
         }
+    from repro.testing.minimise import ConformanceRepro, repro_to_dict
+
+    if isinstance(obj, ConformanceRepro):
+        return repro_to_dict(obj)
     raise TypeError(f"cannot serialise {type(obj).__name__}")
 
 
-def from_dict(data: dict) -> PreferenceSystem | WeightTable | Matching:
+def from_dict(data: dict):
     """Reconstruct a library object from :func:`to_dict` output."""
     kind = data.get("type")
     if kind == "preference_system":
@@ -73,10 +80,14 @@ def from_dict(data: dict) -> PreferenceSystem | WeightTable | Matching:
         return Matching(
             int(data["n"]), [(int(i), int(j)) for i, j in data["edges"]]
         )
+    if kind == "conformance_repro":
+        from repro.testing.minimise import repro_from_dict
+
+        return repro_from_dict(data)
     raise ValueError(f"unknown or missing type tag: {kind!r}")
 
 
-def save_json(obj: PreferenceSystem | WeightTable | Matching, path: str | Path) -> None:
+def save_json(obj, path: str | Path) -> None:
     """Serialise ``obj`` to a JSON file."""
     Path(path).write_text(json.dumps(to_dict(obj), indent=1))
 

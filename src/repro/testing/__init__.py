@@ -1,0 +1,89 @@
+"""Conformance subsystem: the repo's single source of correctness truth.
+
+Four backends compute the paper's matching (reference LIC, fast LIC,
+reference LID, fast LID) plus the resilient runtime; this package keeps
+them honest:
+
+- :mod:`repro.testing.strategies` — seeded instance generators (graph
+  family × preference model × quota distribution) and the hypothesis
+  strategies shared by the whole test suite;
+- :mod:`repro.testing.oracles` — structured verifiers returning typed
+  :class:`~repro.testing.oracles.Violation` records (quota, locality,
+  mutual consistency, exact eq.-1/4/6/9 recomputation, Theorem 1/3
+  bounds vs the exact optima);
+- :mod:`repro.testing.differential` — the cross-backend engine that
+  diffs matchings, satisfaction totals and message-count invariants;
+- :mod:`repro.testing.minimise` — greedy counterexample shrinking and
+  replayable ``conformance_repro`` files;
+- :mod:`repro.testing.mutations` — seeded planted bugs proving the
+  engine actually catches failures;
+- :mod:`repro.testing.conformance` — the sweep / mutation-smoke /
+  replay engine behind ``python -m repro conformance``.
+"""
+
+from repro.testing.conformance import (
+    MutationSmokeResult,
+    SweepResult,
+    capture_repro,
+    conformance_sweep,
+    mutation_smoke,
+    replay_repro,
+)
+from repro.testing.differential import (
+    DEFAULT_PIPELINES,
+    DifferentialReport,
+    Divergence,
+    PIPELINES,
+    PipelineRun,
+    run_differential,
+    run_pipeline,
+)
+from repro.testing.minimise import (
+    ConformanceRepro,
+    load_repro,
+    minimise_instance,
+    save_repro,
+)
+from repro.testing.mutations import MUTATIONS, mutant_pipeline
+from repro.testing.oracles import OracleReport, Violation, verify_matching
+from repro.testing.strategies import (
+    InstanceSpec,
+    generate_instance,
+    generate_weighted_instance,
+    preference_systems,
+    random_ps,
+    spec_grid,
+    weighted_instances,
+)
+
+__all__ = [
+    "MutationSmokeResult",
+    "SweepResult",
+    "capture_repro",
+    "conformance_sweep",
+    "mutation_smoke",
+    "replay_repro",
+    "DEFAULT_PIPELINES",
+    "DifferentialReport",
+    "Divergence",
+    "PIPELINES",
+    "PipelineRun",
+    "run_differential",
+    "run_pipeline",
+    "ConformanceRepro",
+    "load_repro",
+    "minimise_instance",
+    "save_repro",
+    "MUTATIONS",
+    "mutant_pipeline",
+    "OracleReport",
+    "Violation",
+    "verify_matching",
+    "InstanceSpec",
+    "generate_instance",
+    "generate_weighted_instance",
+    "preference_systems",
+    "random_ps",
+    "spec_grid",
+    "weighted_instances",
+]

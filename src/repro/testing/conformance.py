@@ -1,0 +1,302 @@
+"""The conformance engine behind ``python -m repro conformance``.
+
+Three modes, composed by the CLI:
+
+- :func:`conformance_sweep` — run a grid of generated instances
+  (graph family × preference model × quota distribution, n up to the
+  requested ceiling) through every backend pipeline and collect
+  divergences / oracle violations.  Small cells additionally check the
+  Theorem 1 (``½(1+1/b_max)``) and Theorem 3 (``¼(1+1/b_max)``) bounds
+  against the exact MILP optima.
+- :func:`mutation_smoke` — plant every seeded bug from
+  :mod:`repro.testing.mutations` and assert the engine *catches* each
+  one; the catching divergence is minimised and (optionally) written
+  as a replayable repro file.
+- :func:`replay_repro` — re-run a repro file deterministically and
+  report whether the recorded divergence kinds reproduce exactly.
+
+The smoke preset (sweep at ``n ≤ 300`` plus mutation smoke) is the
+``conformance-smoke`` CI merge gate; it exits non-zero iff a divergence
+or oracle violation is found on the real pipelines, or a planted bug
+goes uncaught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.preferences import PreferenceSystem
+from repro.testing.differential import (
+    DEFAULT_PIPELINES,
+    DifferentialReport,
+    run_differential,
+)
+from repro.testing.minimise import (
+    ConformanceRepro,
+    minimise_instance,
+    save_repro,
+)
+from repro.testing.mutations import MUTATIONS, mutant_pipeline
+from repro.testing.strategies import InstanceSpec, generate_instance, spec_grid
+
+__all__ = [
+    "SweepCell",
+    "SweepResult",
+    "MutationOutcome",
+    "MutationSmokeResult",
+    "conformance_sweep",
+    "mutation_smoke",
+    "capture_repro",
+    "replay_repro",
+    "smoke_specs",
+]
+
+# exact-bound checks solve two MILPs per cell; keep them to small cells
+BOUND_CHECK_MAX_N = 40
+
+
+@dataclass
+class SweepCell:
+    """One instance's differential outcome inside a sweep."""
+
+    spec: InstanceSpec
+    report: DifferentialReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def row(self) -> dict:
+        """Flat record for the CLI table."""
+        return {
+            "cell": self.spec.label(),
+            "pipelines": len(self.report.runs),
+            "divergences": len(self.report.divergences),
+            "status": "ok" if self.ok else "FAIL",
+        }
+
+
+@dataclass
+class SweepResult:
+    """All cells of a differential sweep."""
+
+    cells: list[SweepCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.cells)
+
+    @property
+    def failures(self) -> list[SweepCell]:
+        return [c for c in self.cells if not c.ok]
+
+
+@dataclass
+class MutationOutcome:
+    """Did the engine catch one planted bug — and on how small a case?"""
+
+    mutation: str
+    caught: bool
+    divergence_kinds: tuple[str, ...] = ()
+    repro: Optional[ConformanceRepro] = None
+    repro_path: Optional[Path] = None
+
+
+@dataclass
+class MutationSmokeResult:
+    """Outcome of planting every registered mutation."""
+
+    outcomes: list[MutationOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every planted bug was caught."""
+        return all(o.caught for o in self.outcomes)
+
+    @property
+    def missed(self) -> list[str]:
+        return [o.mutation for o in self.outcomes if not o.caught]
+
+
+def smoke_specs(max_n: int = 300, seeds: Sequence[int] = (0,)) -> list[InstanceSpec]:
+    """The smoke sweep grid: broad small cells plus a few large ones.
+
+    Small cells cross family × preference model × quota model; the
+    large cells (``er``/``ba`` at ``max_n``) exercise the fast engines
+    at a size where a batching bug could not hide.
+    """
+    specs = list(spec_grid(
+        families=("er", "geo", "ba", "ws", "reg"),
+        sizes=(20,),
+        preference_models=("uniform", "shared"),
+        quota_models=("constant", "degree"),
+        seeds=seeds,
+    ))
+    specs += list(spec_grid(
+        families=("er", "ba"),
+        sizes=(60,),
+        preference_models=("uniform", "distance"),
+        quota_models=("constant", "uniform"),
+        seeds=seeds,
+    ))
+    specs += [
+        InstanceSpec(family="er", n=max_n, preference_model="uniform",
+                     quota_model="constant", quota=3, seed=s)
+        for s in seeds
+    ]
+    specs += [
+        InstanceSpec(family="ba", n=max_n, preference_model="shared",
+                     quota_model="uniform", quota=4, seed=s)
+        for s in seeds
+    ]
+    return specs
+
+
+def conformance_sweep(
+    specs: Optional[Sequence[InstanceSpec]] = None,
+    pipelines: Sequence[str] = DEFAULT_PIPELINES,
+    bound_check_max_n: int = BOUND_CHECK_MAX_N,
+    progress=None,
+) -> SweepResult:
+    """Differential-sweep every spec; oracle bounds on small cells only."""
+    result = SweepResult()
+    for spec in (specs if specs is not None else smoke_specs()):
+        ps = generate_instance(spec)
+        report = run_differential(
+            ps, seed=spec.seed, pipelines=pipelines,
+            oracle_bounds=ps.n <= bound_check_max_n,
+        )
+        result.cells.append(SweepCell(spec=spec, report=report))
+        if progress is not None:
+            progress(result.cells[-1])
+    return result
+
+
+# the instance every mutation is planted on: dense enough that all
+# seven bugs manifest (quota 3 ≥ 2 so starvation bites, ≥ 2 connections
+# per node so the eq.-1 dynamic term is positive, non-complete so a
+# forged non-edge exists)
+_MUTATION_SPEC = InstanceSpec(
+    family="er", n=18, preference_model="uniform",
+    quota_model="constant", quota=3, seed=0,
+)
+
+# planted bugs are diffed against the reference plus one fast pipeline —
+# enough to witness every divergence kind without paying for all five
+_MUTATION_BASE_PIPELINES = ("lic-reference", "lid-fast")
+
+
+def _mutation_report(
+    ps: PreferenceSystem, mutation: str, seed: int
+) -> DifferentialReport:
+    return run_differential(
+        ps, seed=seed,
+        pipelines=_MUTATION_BASE_PIPELINES,
+        extra_pipelines={f"mutant:{mutation}": mutant_pipeline(mutation)},
+    )
+
+
+def _mutant_divergences(report: DifferentialReport, mutation: str):
+    tag = f"mutant:{mutation}"
+    return [d for d in report.divergences if tag in (d.left, d.right)]
+
+
+def mutation_smoke(
+    mutations: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    minimise: bool = True,
+    out_dir: "str | Path | None" = None,
+    progress=None,
+) -> MutationSmokeResult:
+    """Plant every registered bug and assert the engine catches it.
+
+    With ``minimise=True`` each caught divergence is shrunk to a
+    1-minimal instance; with ``out_dir`` set, each minimised failure is
+    serialised as a replayable ``conformance_repro`` JSON file named
+    after its mutation.
+    """
+    result = MutationSmokeResult()
+    ps = generate_instance(_MUTATION_SPEC)
+    for mutation in (mutations if mutations is not None else sorted(MUTATIONS)):
+        report = _mutation_report(ps, mutation, seed)
+        caught = bool(_mutant_divergences(report, mutation))
+        outcome = MutationOutcome(mutation=mutation, caught=caught)
+        if caught:
+            repro = capture_repro(ps, mutation=mutation, seed=seed,
+                                  minimise=minimise)
+            outcome.repro = repro
+            outcome.divergence_kinds = repro.divergence_kinds
+            if out_dir is not None:
+                path = Path(out_dir) / f"{mutation}.json"
+                path.parent.mkdir(parents=True, exist_ok=True)
+                save_repro(repro, path)
+                outcome.repro_path = path
+        result.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return result
+
+
+def capture_repro(
+    ps: PreferenceSystem,
+    mutation: Optional[str] = None,
+    seed: int = 0,
+    pipelines: Sequence[str] = _MUTATION_BASE_PIPELINES,
+    minimise: bool = True,
+) -> ConformanceRepro:
+    """Shrink a diverging instance and package it as a repro.
+
+    For ``mutation=None`` the divergence must exist between the real
+    pipelines (an organic bug); otherwise the named planted bug is
+    re-applied at every minimisation step.
+    """
+    def diverges(candidate: PreferenceSystem) -> bool:
+        if mutation is not None:
+            report = _mutation_report(candidate, mutation, seed)
+            return bool(_mutant_divergences(report, mutation))
+        return not run_differential(
+            candidate, seed=seed, pipelines=pipelines
+        ).ok
+
+    minimal = minimise_instance(ps, diverges) if minimise else ps
+    final = (
+        _mutation_report(minimal, mutation, seed)
+        if mutation is not None
+        else run_differential(minimal, seed=seed, pipelines=pipelines)
+    )
+    kinds = tuple(sorted({d.kind for d in final.divergences}))
+    label = f"planted bug {mutation!r}" if mutation else "organic divergence"
+    return ConformanceRepro(
+        instance=minimal,
+        seed=seed,
+        pipelines=tuple(pipelines),
+        mutation=mutation,
+        description=(
+            f"{label}: n={minimal.n}, m={minimal.m}, "
+            f"kinds={list(kinds)}"
+        ),
+        divergence_kinds=kinds,
+    )
+
+
+def replay_repro(repro: ConformanceRepro) -> tuple[bool, DifferentialReport]:
+    """Re-run a repro; ``True`` iff the recorded outcome reproduces.
+
+    A repro with recorded divergence kinds reproduces when the replay
+    yields exactly those kinds; a clean repro (no kinds — a regression
+    fixture) reproduces when the replay is clean too.
+    """
+    extra = (
+        {f"mutant:{repro.mutation}": mutant_pipeline(repro.mutation)}
+        if repro.mutation
+        else None
+    )
+    pipelines = repro.pipelines or DEFAULT_PIPELINES
+    report = run_differential(
+        repro.instance, seed=repro.seed,
+        pipelines=pipelines, extra_pipelines=extra,
+    )
+    kinds = tuple(sorted({d.kind for d in report.divergences}))
+    return kinds == tuple(sorted(repro.divergence_kinds)), report

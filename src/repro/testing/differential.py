@@ -1,0 +1,290 @@
+"""Cross-backend differential engine.
+
+The repo computes the same matching five ways — reference LIC, fast
+LIC, reference LID (event simulator), fast LID (round-batched engine)
+and resilient LID (reliable channels, fault-free here) — and the
+paper's lemmas say they must all agree: Lemmas 3–6 make every greedy
+execution select the LIC edge set, and the fast engines are documented
+bit-identical replays.  This module runs any instance through all of
+them and diffs
+
+- the **matching** (edge sets must be identical),
+- the **satisfaction totals** (eq. 1, recomputed exactly by the
+  oracles, must agree to float tolerance),
+- the **message-count invariants** (reference LID and fast LID are
+  bit-identical in PROP/REJ counts; resilient LID may differ — its
+  transport is different — but its *matching* may not),
+
+and feeds every pipeline's output through the oracle battery of
+:mod:`repro.testing.oracles`.  Any discrepancy becomes a typed
+:class:`Divergence`; :mod:`repro.testing.minimise` shrinks the instance
+it occurred on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable
+from repro.testing.oracles import OracleReport, verify_matching
+
+__all__ = [
+    "PipelineRun",
+    "Divergence",
+    "DifferentialReport",
+    "PIPELINES",
+    "DEFAULT_PIPELINES",
+    "REFERENCE_PIPELINE",
+    "run_pipeline",
+    "run_differential",
+]
+
+Edge = tuple[int, int]
+
+# satisfaction totals across backends accumulate float error differently
+SAT_TOL = 1e-8
+
+
+@dataclass
+class PipelineRun:
+    """One backend's answer to one instance.
+
+    ``weight_table`` is the eq.-9 table the pipeline actually used, so
+    the oracles can check its consistency too; message counts are
+    ``None`` for pipelines without a message model (LIC).
+    """
+
+    pipeline: str
+    matching: Matching
+    total_satisfaction: float
+    prop_messages: Optional[int] = None
+    rej_messages: Optional[int] = None
+    profile: Optional[Sequence[float]] = None
+    weight_table: Optional["WeightTable"] = None
+
+    def edge_set(self) -> frozenset[Edge]:
+        return self.matching.edge_set()
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One disagreement between two pipelines (or pipeline vs oracle).
+
+    ``kind`` ∈ {``matching``, ``satisfaction``, ``messages``,
+    ``oracle``}; ``detail`` carries the concrete diff (missing/extra
+    edges, numeric gap, or the oracle violation text).
+    """
+
+    kind: str
+    left: str
+    right: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.left} vs {self.right} — {self.detail}"
+
+
+@dataclass
+class DifferentialReport:
+    """Everything the engine learned about one instance."""
+
+    runs: dict[str, PipelineRun] = field(default_factory=dict)
+    divergences: list[Divergence] = field(default_factory=list)
+    oracle_reports: dict[str, OracleReport] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """No divergence and no oracle violation."""
+        return not self.divergences
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{len(self.runs)} pipelines agree"
+        return "; ".join(str(d) for d in self.divergences[:5]) + (
+            f" (+{len(self.divergences) - 5} more)" if len(self.divergences) > 5 else ""
+        )
+
+
+# ----------------------------------------------------------------------
+# pipelines
+# ----------------------------------------------------------------------
+
+
+def _run_lic_reference(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    from repro.core.backend import get_backend
+
+    be = get_backend("reference")
+    wt = be.build_weights(ps)
+    matching = be.lic(wt, ps.quotas)
+    profile = be.satisfaction_profile(ps, matching)
+    return PipelineRun(
+        "lic-reference", matching, float(profile.sum()),
+        profile=profile, weight_table=wt,
+    )
+
+
+def _run_lic_fast(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    from repro.core.backend import get_backend
+
+    be = get_backend("fast")
+    wt = be.build_weights(ps)
+    matching = be.lic(wt, ps.quotas)
+    profile = be.satisfaction_profile(ps, matching)
+    return PipelineRun(
+        "lic-fast", matching, float(profile.sum()),
+        profile=profile, weight_table=wt,
+    )
+
+
+def _run_lid_reference(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    from repro.core.lid import run_lid
+    from repro.core.weights import satisfaction_weights
+
+    wt = satisfaction_weights(ps)
+    res = run_lid(wt, ps.quotas, seed=seed)
+    return PipelineRun(
+        "lid-reference", res.matching,
+        res.matching.total_satisfaction(ps),
+        prop_messages=res.prop_messages, rej_messages=res.rej_messages,
+        weight_table=wt,
+    )
+
+
+def _run_lid_fast(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    from repro.core.fast import satisfaction_weights_fast
+    from repro.core.fast_lid import lid_matching_fast
+
+    wt = satisfaction_weights_fast(ps)
+    res = lid_matching_fast(wt, ps.quotas)
+    return PipelineRun(
+        "lid-fast", res.matching,
+        res.matching.total_satisfaction(ps),
+        prop_messages=res.prop_messages, rej_messages=res.rej_messages,
+        weight_table=wt,
+    )
+
+
+def _run_lid_resilient(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    from repro.core.resilient_lid import run_resilient_lid
+    from repro.core.weights import satisfaction_weights
+
+    wt = satisfaction_weights(ps)
+    res = run_resilient_lid(wt, ps.quotas, seed=seed)
+    return PipelineRun(
+        "lid-resilient", res.matching,
+        res.matching.total_satisfaction(ps),
+        weight_table=wt,
+    )
+
+
+PIPELINES: dict[str, Callable[[PreferenceSystem, int], PipelineRun]] = {
+    "lic-reference": _run_lic_reference,
+    "lic-fast": _run_lic_fast,
+    "lid-reference": _run_lid_reference,
+    "lid-fast": _run_lid_fast,
+    "lid-resilient": _run_lid_resilient,
+}
+
+DEFAULT_PIPELINES = tuple(PIPELINES)
+REFERENCE_PIPELINE = "lic-reference"
+
+# pipeline pairs whose message statistics are documented bit-identical
+_MESSAGE_TWINS = (("lid-reference", "lid-fast"),)
+
+
+def run_pipeline(
+    name: "str | Callable[[PreferenceSystem, int], PipelineRun]",
+    ps: PreferenceSystem,
+    seed: int = 0,
+) -> PipelineRun:
+    """Execute one pipeline by registry name (or as a callable)."""
+    fn = PIPELINES[name] if isinstance(name, str) else name
+    return fn(ps, seed)
+
+
+def _diff_runs(ref: PipelineRun, other: PipelineRun) -> list[Divergence]:
+    out: list[Divergence] = []
+    ref_edges, other_edges = ref.edge_set(), other.edge_set()
+    if ref_edges != other_edges:
+        missing = sorted(ref_edges - other_edges)
+        extra = sorted(other_edges - ref_edges)
+        out.append(Divergence(
+            kind="matching", left=ref.pipeline, right=other.pipeline,
+            detail=f"missing={missing[:6]} extra={extra[:6]}"
+                   f" (|Δ|={len(missing) + len(extra)})",
+        ))
+    gap = abs(ref.total_satisfaction - other.total_satisfaction)
+    if gap > SAT_TOL * max(1.0, abs(ref.total_satisfaction)):
+        out.append(Divergence(
+            kind="satisfaction", left=ref.pipeline, right=other.pipeline,
+            detail=f"{ref.total_satisfaction:.12g} vs "
+                   f"{other.total_satisfaction:.12g} (gap {gap:.3g})",
+        ))
+    return out
+
+
+def run_differential(
+    ps: PreferenceSystem,
+    seed: int = 0,
+    pipelines: Optional[Sequence[str]] = None,
+    extra_pipelines: Optional[dict[str, Callable[[PreferenceSystem, int], PipelineRun]]] = None,
+    oracle_bounds: bool = False,
+) -> DifferentialReport:
+    """Run an instance through every pipeline and diff the outcomes.
+
+    Parameters
+    ----------
+    pipelines:
+        Registry names to run (default: all of :data:`DEFAULT_PIPELINES`).
+    extra_pipelines:
+        Additional named callables (the mutation harness injects its
+        planted-bug pipelines here); they are diffed against the
+        reference like any other.
+    oracle_bounds:
+        Forwarded to :func:`repro.testing.oracles.verify_matching` —
+        also check the Theorem 1/3 bounds via the exact MILP optima
+        (small instances only).
+    """
+    names = list(pipelines if pipelines is not None else DEFAULT_PIPELINES)
+    report = DifferentialReport()
+    fns: list[tuple[str, Callable[[PreferenceSystem, int], PipelineRun]]] = [
+        (name, PIPELINES[name]) for name in names
+    ]
+    if extra_pipelines:
+        fns.extend(extra_pipelines.items())
+
+    for name, fn in fns:
+        run = fn(ps, seed)
+        run.pipeline = name  # registry name wins over the callable's label
+        report.runs[name] = run
+        oracle = verify_matching(
+            ps, run.matching, wt=run.weight_table,
+            profile=run.profile, bounds=oracle_bounds,
+        )
+        report.oracle_reports[name] = oracle
+        for violation in oracle.violations:
+            report.divergences.append(Divergence(
+                kind="oracle", left=name, right="oracle",
+                detail=str(violation),
+            ))
+
+    ref_name = REFERENCE_PIPELINE if REFERENCE_PIPELINE in report.runs else next(iter(report.runs))
+    ref = report.runs[ref_name]
+    for name, run in report.runs.items():
+        if name != ref_name:
+            report.divergences.extend(_diff_runs(ref, run))
+
+    for left, right in _MESSAGE_TWINS:
+        a, b = report.runs.get(left), report.runs.get(right)
+        if a is None or b is None:
+            continue
+        if (a.prop_messages, a.rej_messages) != (b.prop_messages, b.rej_messages):
+            report.divergences.append(Divergence(
+                kind="messages", left=left, right=right,
+                detail=f"PROP {a.prop_messages} vs {b.prop_messages}, "
+                       f"REJ {a.rej_messages} vs {b.rej_messages}",
+            ))
+    return report

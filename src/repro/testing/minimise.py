@@ -1,0 +1,243 @@
+"""Counterexample minimisation and replayable repro files.
+
+When the differential engine finds a divergence on some generated
+instance, the raw instance is usually far bigger than the bug.
+:func:`minimise_instance` greedily shrinks it while a caller-supplied
+predicate ("still diverges") keeps holding, trying — in order of how
+much each step removes —
+
+1. **dropping nodes** (with renumbering, preserving relative order),
+2. **dropping edges** (from both endpoints' preference lists),
+3. **truncating preference lists** (dropping each list's bottom entry —
+   the least-preferred neighbour — which is an edge drop chosen by
+   rank rather than by edge id),
+4. **lowering quotas** (``b_i → b_i - 1``, floor 1),
+
+until a full pass makes no progress.  The result is a 1-minimal
+instance: no single reduction step preserves the failure.
+
+:class:`ConformanceRepro` packages the minimised instance with
+everything needed to replay the failure deterministically — seed,
+pipeline names, the planted mutation (if the divergence came from the
+mutation-smoke harness) and the divergence kinds observed — and
+round-trips through :mod:`repro.serialization` as a
+``conformance_repro`` JSON document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.preferences import PreferenceSystem
+from repro.utils.validation import InvalidInstanceError
+
+__all__ = [
+    "ConformanceRepro",
+    "minimise_instance",
+    "repro_to_dict",
+    "repro_from_dict",
+    "save_repro",
+    "load_repro",
+]
+
+
+@dataclass(frozen=True)
+class ConformanceRepro:
+    """A minimised failing instance plus the recipe to replay it.
+
+    ``mutation`` names a planted bug from
+    :data:`repro.testing.mutations.MUTATIONS` (``None`` for an organic
+    divergence between real pipelines); ``divergence_kinds`` records the
+    kinds observed at capture time so a replay can assert the failure
+    reproduces *identically*, not just somehow.
+    """
+
+    instance: PreferenceSystem
+    seed: int = 0
+    pipelines: tuple[str, ...] = ()
+    mutation: Optional[str] = None
+    description: str = ""
+    divergence_kinds: tuple[str, ...] = field(default_factory=tuple)
+
+
+# ----------------------------------------------------------------------
+# instance surgery
+# ----------------------------------------------------------------------
+
+
+def _rankings_of(ps: PreferenceSystem) -> dict[int, list[int]]:
+    return {i: list(ps.preference_list(i)) for i in ps.nodes()}
+
+
+def _rebuild(
+    rankings: dict[int, list[int]], quotas: dict[int, int]
+) -> Optional[PreferenceSystem]:
+    """Construct a PreferenceSystem, or None when the edit left junk."""
+    fixed = {i: max(1, q) for i, q in quotas.items()}
+    try:
+        return PreferenceSystem(rankings, fixed)
+    except InvalidInstanceError:  # pragma: no cover - edits keep symmetry
+        return None
+
+
+def _without_node(ps: PreferenceSystem, v: int) -> Optional[PreferenceSystem]:
+    if ps.n <= 1:
+        return None
+    remap = {old: new for new, old in enumerate(i for i in ps.nodes() if i != v)}
+    rankings = {
+        remap[i]: [remap[j] for j in ps.preference_list(i) if j != v]
+        for i in ps.nodes()
+        if i != v
+    }
+    quotas = {remap[i]: ps.quota(i) for i in ps.nodes() if i != v}
+    return _rebuild(rankings, quotas)
+
+
+def _without_edge(ps: PreferenceSystem, i: int, j: int) -> Optional[PreferenceSystem]:
+    rankings = _rankings_of(ps)
+    rankings[i] = [x for x in rankings[i] if x != j]
+    rankings[j] = [x for x in rankings[j] if x != i]
+    return _rebuild(rankings, {v: ps.quota(v) for v in ps.nodes()})
+
+
+def _truncated(ps: PreferenceSystem, i: int) -> Optional[PreferenceSystem]:
+    lst = ps.preference_list(i)
+    if not lst:
+        return None
+    return _without_edge(ps, i, lst[-1])
+
+
+def _lowered_quota(ps: PreferenceSystem, i: int) -> Optional[PreferenceSystem]:
+    if ps.quota(i) <= 1:
+        return None
+    quotas = {v: ps.quota(v) for v in ps.nodes()}
+    quotas[i] -= 1
+    return _rebuild(_rankings_of(ps), quotas)
+
+
+def minimise_instance(
+    ps: PreferenceSystem,
+    predicate: Callable[[PreferenceSystem], bool],
+    max_steps: int = 10_000,
+) -> PreferenceSystem:
+    """Greedily shrink ``ps`` while ``predicate`` stays true.
+
+    ``predicate(candidate)`` must return ``True`` when the candidate
+    still exhibits the failure.  ``predicate(ps)`` itself must be true
+    on entry (raises ``ValueError`` otherwise — a minimiser fed a
+    passing instance would silently return it, hiding a harness bug).
+
+    The search is deterministic: candidates are tried in a fixed order
+    and the first accepted reduction restarts the pass, so the same
+    input always minimises to the same output.
+    """
+    if not predicate(ps):
+        raise ValueError("predicate does not hold on the initial instance")
+
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+
+        def _try(candidate: Optional[PreferenceSystem]) -> bool:
+            nonlocal steps
+            if candidate is None:
+                return False
+            steps += 1
+            return predicate(candidate)
+
+        # pass 1: nodes, highest id first (cheapest renumbering churn)
+        for v in reversed(range(ps.n)):
+            candidate = _without_node(ps, v)
+            if _try(candidate):
+                ps = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        # pass 2: edges
+        for e in ps.edges():
+            candidate = _without_edge(ps, *e)
+            if _try(candidate):
+                ps = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        # pass 3: list truncation (bottom-of-list edges, by node)
+        for i in range(ps.n):
+            candidate = _truncated(ps, i)
+            if _try(candidate):
+                ps = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        # pass 4: quotas
+        for i in range(ps.n):
+            candidate = _lowered_quota(ps, i)
+            if _try(candidate):
+                ps = candidate
+                progress = True
+                break
+    return ps
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation — the dict halves live here; repro.serialization
+# dispatches its "conformance_repro" type tag to these
+# ----------------------------------------------------------------------
+
+
+def repro_to_dict(repro: ConformanceRepro) -> dict:
+    """Serialise a repro to a self-describing JSON-compatible dict."""
+    from repro.serialization import to_dict
+
+    return {
+        "type": "conformance_repro",
+        "instance": to_dict(repro.instance),
+        "seed": int(repro.seed),
+        "pipelines": list(repro.pipelines),
+        "mutation": repro.mutation,
+        "description": repro.description,
+        "divergence_kinds": list(repro.divergence_kinds),
+    }
+
+
+def repro_from_dict(data: dict) -> ConformanceRepro:
+    """Reconstruct a repro from :func:`repro_to_dict` output."""
+    from repro.serialization import from_dict
+
+    instance = from_dict(data["instance"])
+    if not isinstance(instance, PreferenceSystem):
+        raise ValueError(
+            f"conformance repro embeds a {type(instance).__name__}, "
+            "expected a preference_system"
+        )
+    return ConformanceRepro(
+        instance=instance,
+        seed=int(data.get("seed", 0)),
+        pipelines=tuple(data.get("pipelines", ())),
+        mutation=data.get("mutation"),
+        description=data.get("description", ""),
+        divergence_kinds=tuple(data.get("divergence_kinds", ())),
+    )
+
+
+def save_repro(repro: ConformanceRepro, path: "str | Path") -> None:
+    """Write a repro file (JSON, via :mod:`repro.serialization`)."""
+    from repro.serialization import save_json
+
+    save_json(repro, path)
+
+
+def load_repro(path: "str | Path") -> ConformanceRepro:
+    """Load a repro file written by :func:`save_repro`."""
+    from repro.serialization import load_json
+
+    repro = load_json(path)
+    if not isinstance(repro, ConformanceRepro):
+        raise ValueError(f"{path} is not a conformance repro file")
+    return repro

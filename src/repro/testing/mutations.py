@@ -1,0 +1,213 @@
+"""Planted-bug pipelines — the conformance engine's own smoke test.
+
+A verifier that has never seen a failure proves nothing.  Each mutation
+here wraps a real pipeline and plants one seeded, realistic bug — a
+perturbed LIC weight, an asymmetric eq.-9 table, a dropped or forged
+LID lock, an off-by-one quota, a mis-scored satisfaction profile — and
+the mutation-smoke mode (:func:`repro.testing.conformance.mutation_smoke`)
+asserts the differential engine + oracles catch **every** one of them.
+If a future refactor weakens a check, the smoke run fails before the
+weakened check can wave a real bug through.
+
+Mutations are ordinary pipeline callables (``(ps, seed) → PipelineRun``)
+registered in :data:`MUTATIONS`, so they plug into
+:func:`repro.testing.differential.run_differential` via
+``extra_pipelines`` and into replayable repro files by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable
+from repro.testing.differential import PipelineRun
+
+__all__ = ["MUTATIONS", "mutant_pipeline"]
+
+
+def _safe_total(matching, ps: PreferenceSystem) -> float:
+    """Total satisfaction, surviving the mutant's own corruption.
+
+    A forged non-E edge or an over-quota node makes eq. 1 undefined;
+    the library rightly raises.  The mutant must still hand a run to
+    the engine — the oracles, not an exception, are what should flag
+    it — so score the corrupted matching as 0.
+    """
+    try:
+        return matching.total_satisfaction(ps)
+    except (KeyError, ValueError):
+        return 0.0
+
+
+def _mutant_lic_weight_jitter(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    """LIC weights: silently scale one edge's eq.-9 weight by 1.5.
+
+    Models a drifting weight kernel; caught by the symmetric-weights
+    oracle and, when the perturbed edge changes the greedy order, by a
+    matching divergence.
+    """
+    from repro.core.lic import lic_matching
+    from repro.core.weights import satisfaction_weights
+
+    wt = satisfaction_weights(ps)
+    weights = dict(wt.items())
+    if weights:  # minimisation may shrink the instance edge-free
+        victim = max(weights)  # deterministic: lexicographically last edge
+        weights[victim] = weights[victim] * 1.5
+    bad = WeightTable.from_trusted(weights, ps.n)
+    matching = lic_matching(bad, ps.quotas)
+    return PipelineRun(
+        "mutant:lic-weight-jitter", matching,
+        matching.total_satisfaction(ps), weight_table=bad,
+    )
+
+
+def _mutant_weights_asymmetric(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    """LIC weights: build w(i,j) from ΔS̄_i^j alone, dropping ΔS̄_j^i.
+
+    Breaks the symmetry Lemma 5 needs; caught by the symmetric-weights
+    oracle and by matching divergence.
+    """
+    from repro.core.lic import lic_matching
+    from repro.core.satisfaction import delta_static
+
+    weights = {(i, j): delta_static(ps, i, j) for i, j in ps.edges()}
+    bad = WeightTable.from_trusted(weights, ps.n)
+    matching = lic_matching(bad, ps.quotas)
+    return PipelineRun(
+        "mutant:weights-asymmetric", matching,
+        matching.total_satisfaction(ps), weight_table=bad,
+    )
+
+
+def _mutant_lid_lock_drop(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    """LID locking: lose the heaviest locked edge after the run.
+
+    Models a lock-release bug; caught as a matching divergence (the
+    edge is present in every healthy pipeline).
+    """
+    from repro.core.fast import satisfaction_weights_fast
+    from repro.core.fast_lid import lid_matching_fast
+
+    wt = satisfaction_weights_fast(ps)
+    res = lid_matching_fast(wt, ps.quotas)
+    matching = res.matching.copy()
+    edges = matching.edges()
+    if edges:
+        victim = max(edges, key=lambda e: wt.key(*e))
+        matching.remove(*victim)
+    return PipelineRun(
+        "mutant:lid-lock-drop", matching,
+        matching.total_satisfaction(ps),
+        prop_messages=res.prop_messages, rej_messages=res.rej_messages,
+        weight_table=wt,
+    )
+
+
+def _mutant_lid_lock_forge(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    """LID locking: forge a lock on a link that does not exist.
+
+    Prefers a non-adjacent pair (edge-locality violation); on complete
+    graphs falls back to force-adding an unmatched potential edge
+    (quota violation or matching divergence).
+    """
+    from repro.core.lid import run_lid
+    from repro.core.weights import satisfaction_weights
+
+    wt = satisfaction_weights(ps)
+    res = run_lid(wt, ps.quotas, seed=seed)
+    matching = res.matching.copy()
+    forged = None
+    for i in range(ps.n):
+        for j in range(i + 1, ps.n):
+            if not ps.has_edge(i, j):
+                forged = (i, j)
+                break
+        if forged:
+            break
+    if forged is None:
+        forged = next(
+            (e for e in ps.edges() if not matching.has_edge(*e)), None
+        )
+    if forged is not None:
+        matching.add(*forged)
+    return PipelineRun(
+        "mutant:lid-lock-forge", matching,
+        _safe_total(matching, ps),
+        weight_table=wt,
+    )
+
+
+def _mutant_quota_inflate(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    """Quota handling: run LIC with every quota off by one (b_i + 1).
+
+    The classic clamp-forgotten bug; caught by the quota oracle (nodes
+    exceed b_i) and by matching divergence.
+    """
+    from repro.core.lic import lic_matching
+    from repro.core.weights import satisfaction_weights
+
+    wt = satisfaction_weights(ps)
+    matching = lic_matching(wt, [q + 1 for q in ps.quotas])
+    return PipelineRun(
+        "mutant:quota-inflate", matching,
+        _safe_total(matching, ps),
+        weight_table=wt,
+    )
+
+
+def _mutant_quota_starve(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    """Quota handling: run LIC with quotas clamped one too low.
+
+    Caught as a matching divergence whenever some node wanted its full
+    quota (guaranteed on the smoke instances, which use b_i ≥ 2).
+    """
+    from repro.core.lic import lic_matching
+    from repro.core.weights import satisfaction_weights
+
+    wt = satisfaction_weights(ps)
+    matching = lic_matching(wt, [max(1, q - 1) for q in ps.quotas])
+    return PipelineRun(
+        "mutant:quota-starve", matching,
+        matching.total_satisfaction(ps), weight_table=wt,
+    )
+
+
+def _mutant_satisfaction_misscore(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    """Scoring: report the static profile (eq. 6) as the full one (eq. 1).
+
+    Caught by the satisfaction oracle's exact recomputation whenever
+    any node holds ≥ 2 connections (the dynamic term is then positive).
+    """
+    from repro.core.backend import get_backend
+
+    be = get_backend("reference")
+    wt = be.build_weights(ps)
+    matching = be.lic(wt, ps.quotas)
+    profile = be.satisfaction_profile(ps, matching, kind="static")
+    return PipelineRun(
+        "mutant:satisfaction-misscore", matching, float(profile.sum()),
+        profile=profile, weight_table=wt,
+    )
+
+
+MUTATIONS: dict[str, Callable[[PreferenceSystem, int], PipelineRun]] = {
+    "lic-weight-jitter": _mutant_lic_weight_jitter,
+    "weights-asymmetric": _mutant_weights_asymmetric,
+    "lid-lock-drop": _mutant_lid_lock_drop,
+    "lid-lock-forge": _mutant_lid_lock_forge,
+    "quota-inflate": _mutant_quota_inflate,
+    "quota-starve": _mutant_quota_starve,
+    "satisfaction-misscore": _mutant_satisfaction_misscore,
+}
+
+
+def mutant_pipeline(name: str) -> Callable[[PreferenceSystem, int], PipelineRun]:
+    """Look up a planted-bug pipeline by registry name."""
+    try:
+        return MUTATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}"
+        ) from None

@@ -1,0 +1,286 @@
+"""Shared instance generators for the conformance subsystem and tests.
+
+One module is the single source of generated instances for the whole
+repo, replacing the per-file hypothesis strategies that used to live in
+``tests/conftest.py`` (and its copies):
+
+- **seeded generators** — :class:`InstanceSpec` plus
+  :func:`generate_instance` build a :class:`PreferenceSystem` from the
+  cross product *graph family × preference model × quota distribution*,
+  fully determined by the spec (same spec ⇒ same instance).  The
+  conformance sweep (:mod:`repro.testing.conformance`) iterates a grid
+  of specs; benchmarks can reuse them for reproducible corpora.
+- **hypothesis strategies** — :func:`preference_systems` and
+  :func:`weighted_instances`, the property-testing strategies every
+  test file imports from here.  They are defined lazily so importing
+  this module (e.g. from the CLI) does not require hypothesis.
+
+The generators deliberately cover the quota edge cases the oracles care
+about: ``b_i = |L_i|`` (saturating quotas), ``b_i = 1``, isolated
+nodes (empty preference lists, quota normalised to 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable
+from repro.experiments.instances import FAMILIES, topology_for_family
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "InstanceSpec",
+    "PREFERENCE_MODELS",
+    "QUOTA_MODELS",
+    "generate_instance",
+    "generate_weighted_instance",
+    "spec_grid",
+    "random_ps",
+    "preference_systems",
+    "weighted_instances",
+]
+
+PREFERENCE_MODELS = ("uniform", "shared", "distance")
+QUOTA_MODELS = ("constant", "uniform", "degree", "one")
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A fully seeded recipe for one generated instance.
+
+    Attributes
+    ----------
+    family:
+        Graph family (``er``/``geo``/``ba``/``ws``/``reg``, see
+        :data:`repro.experiments.instances.FAMILIES`).
+    n:
+        Number of nodes.
+    preference_model:
+        How nodes rank their neighbourhoods: ``uniform`` (independent
+        random permutations — the paper's default regime, preference
+        cycles whp), ``shared`` (a global desirability score plus
+        private noise — correlated lists), ``distance`` (rank by
+        distance between random latent positions — metric lists).
+    quota_model:
+        ``constant`` (every node ``b_i = quota``), ``uniform``
+        (``b_i ~ U{1..quota}``), ``degree`` (``b_i = |L_i|`` — the
+        saturating edge case), ``one`` (``b_i = 1``, classic stable
+        roommates).
+    quota:
+        The quota parameter consumed by ``quota_model``.
+    seed:
+        Master seed; all randomness is spawned from it.
+    """
+
+    family: str = "er"
+    n: int = 30
+    preference_model: str = "uniform"
+    quota_model: str = "constant"
+    quota: int = 3
+    seed: int = 0
+
+    def label(self) -> str:
+        """Compact cell label for reports (``er/n=30/uniform/constant-3/s0``)."""
+        return (
+            f"{self.family}/n={self.n}/{self.preference_model}/"
+            f"{self.quota_model}-{self.quota}/s{self.seed}"
+        )
+
+
+def _rank_neighbourhoods(
+    adjacency: Sequence[Sequence[int]],
+    model: str,
+    rng: np.random.Generator,
+) -> dict[int, list[int]]:
+    n = len(adjacency)
+    if model == "uniform":
+        rankings = {}
+        for i in range(n):
+            neigh = np.array(adjacency[i], dtype=int)
+            rng.shuffle(neigh)
+            rankings[i] = [int(x) for x in neigh]
+        return rankings
+    if model == "shared":
+        desirability = rng.uniform(0.0, 1.0, n)
+        return {
+            i: sorted(
+                adjacency[i],
+                key=lambda j: (-(desirability[j] + 0.25 * rng.uniform()), j),
+            )
+            for i in range(n)
+        }
+    if model == "distance":
+        pos = rng.uniform(0.0, 1.0, (n, 2))
+        return {
+            i: sorted(
+                adjacency[i],
+                key=lambda j: (float(np.linalg.norm(pos[i] - pos[j])), j),
+            )
+            for i in range(n)
+        }
+    raise ValueError(f"unknown preference model {model!r}; known: {PREFERENCE_MODELS}")
+
+
+def _draw_quotas(
+    adjacency: Sequence[Sequence[int]],
+    model: str,
+    quota: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    degs = [max(len(a), 1) for a in adjacency]
+    if model == "constant":
+        return [quota] * len(adjacency)
+    if model == "uniform":
+        return [int(rng.integers(1, quota + 1)) for _ in adjacency]
+    if model == "degree":
+        return degs  # clamped to |L_i| by PreferenceSystem anyway
+    if model == "one":
+        return [1] * len(adjacency)
+    raise ValueError(f"unknown quota model {model!r}; known: {QUOTA_MODELS}")
+
+
+def generate_instance(spec: InstanceSpec) -> PreferenceSystem:
+    """Materialise the instance a spec describes (deterministic)."""
+    if spec.family not in FAMILIES:
+        raise ValueError(f"unknown family {spec.family!r}; known: {FAMILIES}")
+    rng = spawn_rng(spec.seed, "conformance", spec.family, str(spec.n),
+                    spec.preference_model, spec.quota_model, str(spec.quota))
+    topo = topology_for_family(spec.family, spec.n, rng)
+    rankings = _rank_neighbourhoods(topo.adjacency, spec.preference_model, rng)
+    quotas = _draw_quotas(topo.adjacency, spec.quota_model, spec.quota, rng)
+    return PreferenceSystem(rankings, quotas)
+
+
+def generate_weighted_instance(
+    spec: InstanceSpec,
+) -> tuple[WeightTable, list[int]]:
+    """A pure weighted instance over the spec's topology (U(0,1] weights)."""
+    rng = spawn_rng(spec.seed, "conformance-weighted", spec.family, str(spec.n))
+    topo = topology_for_family(spec.family, spec.n, rng)
+    weights = {(i, j): float(rng.uniform(1e-6, 1.0)) for i, j in topo.edges()}
+    quotas = _draw_quotas(topo.adjacency, spec.quota_model, spec.quota, rng)
+    return WeightTable(weights, topo.n), quotas
+
+
+def spec_grid(
+    families: Sequence[str] = ("er", "ba"),
+    sizes: Sequence[int] = (20, 60),
+    preference_models: Sequence[str] = ("uniform", "shared"),
+    quota_models: Sequence[str] = ("constant", "degree"),
+    quota: int = 3,
+    seeds: Sequence[int] = (0,),
+) -> Iterator[InstanceSpec]:
+    """The cross-product grid of specs swept by the conformance engine."""
+    for family in families:
+        for n in sizes:
+            for pref in preference_models:
+                for qm in quota_models:
+                    for seed in seeds:
+                        yield InstanceSpec(
+                            family=family, n=n, preference_model=pref,
+                            quota_model=qm, quota=quota, seed=seed,
+                        )
+
+
+def random_ps(
+    n: int, p: float, quota, seed: int, ensure_edges: bool = False
+) -> PreferenceSystem:
+    """Random ER graph with uniformly random rankings (quick test helper).
+
+    Kept signature-compatible with the helper that used to live in
+    ``tests/conftest.py``; prefer :func:`generate_instance` for anything
+    that wants family/model coverage.
+    """
+    rng = np.random.default_rng(seed)
+    adj: dict[int, list[int]] = {i: [] for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                adj[i].append(j)
+                adj[j].append(i)
+    if ensure_edges and not any(adj.values()) and n >= 2:
+        adj[0].append(1)
+        adj[1].append(0)
+    rankings = {}
+    for i in range(n):
+        neigh = list(adj[i])
+        rng.shuffle(neigh)
+        rankings[i] = neigh
+    return PreferenceSystem(rankings, quota)
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies (lazy: importing this module never needs
+# hypothesis; calling the strategies does)
+# ----------------------------------------------------------------------
+
+_strategies: dict[str, object] = {}
+
+
+def _build_strategies():
+    """Define the composite strategies once, on first use."""
+    from hypothesis import strategies as st
+
+    @st.composite
+    def preference_systems(draw, min_n=2, max_n=8, max_quota=3):
+        """Hypothesis strategy: small random preference systems.
+
+        Edge set and ranking permutations are derived from drawn
+        integers so instances are fully determined by the draw
+        (reproducible shrinking).
+        """
+        n = draw(st.integers(min_n, max_n))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        included = draw(
+            st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs))
+        )
+        adj: dict[int, list[int]] = {i: [] for i in range(n)}
+        for (i, j), keep in zip(pairs, included):
+            if keep:
+                adj[i].append(j)
+                adj[j].append(i)
+        rankings = {}
+        for i in range(n):
+            rankings[i] = draw(st.permutations(adj[i])) if adj[i] else []
+        quotas = [
+            draw(st.integers(1, max_quota)) if adj[i] else 1 for i in range(n)
+        ]
+        return PreferenceSystem(rankings, quotas)
+
+    @st.composite
+    def weighted_instances(draw, min_n=2, max_n=8, max_quota=3):
+        """Hypothesis strategy: (WeightTable, quotas) with positive weights."""
+        n = draw(st.integers(min_n, max_n))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        included = draw(
+            st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs))
+        )
+        weights = {}
+        for (i, j), keep in zip(pairs, included):
+            if keep:
+                weights[(i, j)] = draw(
+                    st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+                )
+        quotas = [draw(st.integers(1, max_quota)) for _ in range(n)]
+        return WeightTable(weights, n), quotas
+
+    _strategies["preference_systems"] = preference_systems
+    _strategies["weighted_instances"] = weighted_instances
+
+
+def preference_systems(min_n=2, max_n=8, max_quota=3):
+    """Hypothesis strategy for small :class:`PreferenceSystem` instances."""
+    if not _strategies:
+        _build_strategies()
+    return _strategies["preference_systems"](min_n=min_n, max_n=max_n, max_quota=max_quota)
+
+
+def weighted_instances(min_n=2, max_n=8, max_quota=3):
+    """Hypothesis strategy for small ``(WeightTable, quotas)`` instances."""
+    if not _strategies:
+        _build_strategies()
+    return _strategies["weighted_instances"](min_n=min_n, max_n=max_n, max_quota=max_quota)

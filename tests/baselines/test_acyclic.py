@@ -10,7 +10,7 @@ from repro.core.lic import solve_modified_bmatching
 from repro.core.preferences import PreferenceSystem
 from repro.experiments.instances import cyclic_roommates
 
-from tests.conftest import preference_systems, random_ps
+from repro.testing.strategies import preference_systems, random_ps
 
 
 class TestConvergence:

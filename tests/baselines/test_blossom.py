@@ -9,7 +9,7 @@ from repro.baselines.blossom import blossom_mwm, max_weight_matching_blossom
 from repro.baselines.exact import brute_force_bmatching
 from repro.core.weights import WeightTable
 
-from tests.conftest import weighted_instances
+from repro.testing.strategies import weighted_instances
 
 
 class TestBasics:

@@ -13,7 +13,7 @@ from repro.baselines.exact import (
 )
 from repro.core.weights import WeightTable, satisfaction_weights
 
-from tests.conftest import preference_systems, random_ps, weighted_instances
+from repro.testing.strategies import preference_systems, random_ps, weighted_instances
 
 
 class TestMaxWeightMILP:

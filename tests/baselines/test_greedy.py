@@ -12,7 +12,7 @@ from repro.baselines.greedy import (
 from repro.core.lic import lic_matching
 from repro.core.weights import WeightTable
 
-from tests.conftest import weighted_instances
+from repro.testing.strategies import weighted_instances
 
 
 class TestGlobalGreedy:

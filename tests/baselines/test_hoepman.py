@@ -7,7 +7,7 @@ from repro.core.lic import lic_matching
 from repro.core.weights import WeightTable
 from repro.distsim import ExponentialLatency, UniformLatency
 
-from tests.conftest import weighted_instances
+from repro.testing.strategies import weighted_instances
 
 
 class TestHoepman:

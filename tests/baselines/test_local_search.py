@@ -8,7 +8,7 @@ from repro.core.lic import lic_matching
 from repro.core.matching import Matching
 from repro.core.weights import WeightTable
 
-from tests.conftest import weighted_instances
+from repro.testing.strategies import weighted_instances
 
 
 class TestMoves:

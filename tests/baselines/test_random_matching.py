@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.baselines.random_matching import random_bmatching
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 class TestRandomBMatching:

@@ -9,7 +9,7 @@ from repro.baselines.stable_fixtures import (
 from repro.baselines.verify import is_stable
 from repro.core.preferences import PreferenceSystem
 
-from tests.conftest import preference_systems, random_ps
+from repro.testing.strategies import preference_systems, random_ps
 
 
 class TestPhase1:

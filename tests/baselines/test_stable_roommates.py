@@ -14,7 +14,7 @@ from repro.baselines.verify import is_stable
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 def exhaustive_stable_exists(ps: PreferenceSystem):

@@ -1,75 +1,32 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis configuration for the test suite.
+
+The instance generators and hypothesis strategies live in
+:mod:`repro.testing.strategies` (the conformance subsystem's single
+source of generated instances); this conftest only registers the
+hypothesis profiles and provides the hand-built fixtures.
+
+Profiles: ``dev`` (default — few examples, fast feedback) and ``ci``
+(thorough — more examples, no deadline so a loaded CI runner cannot
+flake a healthy property).  Select with ``HYPOTHESIS_PROFILE=ci``.
+"""
 
 from __future__ import annotations
 
-import numpy as np
+import os
+
 import pytest
-from hypothesis import strategies as st
+from hypothesis import settings
 
 from repro.core.preferences import PreferenceSystem
-from repro.core.weights import WeightTable
+from repro.testing.strategies import (  # noqa: F401  (re-exported for tests)
+    preference_systems,
+    random_ps,
+    weighted_instances,
+)
 
-
-def random_ps(
-    n: int, p: float, quota, seed: int, ensure_edges: bool = False
-) -> PreferenceSystem:
-    """Random ER graph with uniformly random rankings (test helper)."""
-    rng = np.random.default_rng(seed)
-    adj = {i: [] for i in range(n)}
-    for i in range(n):
-        for j in range(i + 1, n):
-            if rng.random() < p:
-                adj[i].append(j)
-                adj[j].append(i)
-    if ensure_edges and not any(adj.values()) and n >= 2:
-        adj[0].append(1)
-        adj[1].append(0)
-    rankings = {}
-    for i in range(n):
-        neigh = list(adj[i])
-        rng.shuffle(neigh)
-        rankings[i] = neigh
-    return PreferenceSystem(rankings, quota)
-
-
-@st.composite
-def preference_systems(draw, min_n=2, max_n=8, max_quota=3):
-    """Hypothesis strategy: small random preference systems.
-
-    Edge set and ranking permutations are derived from drawn integers so
-    instances are fully determined by the draw (reproducible shrinking).
-    """
-    n = draw(st.integers(min_n, max_n))
-    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    included = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
-    adj = {i: [] for i in range(n)}
-    for (i, j), keep in zip(pairs, included):
-        if keep:
-            adj[i].append(j)
-            adj[j].append(i)
-    rankings = {}
-    for i in range(n):
-        rankings[i] = draw(st.permutations(adj[i])) if adj[i] else []
-    quotas = [
-        draw(st.integers(1, max_quota)) if adj[i] else 1 for i in range(n)
-    ]
-    return PreferenceSystem(rankings, quotas)
-
-
-@st.composite
-def weighted_instances(draw, min_n=2, max_n=8, max_quota=3):
-    """Hypothesis strategy: (WeightTable, quotas) with positive weights."""
-    n = draw(st.integers(min_n, max_n))
-    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    included = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
-    weights = {}
-    for (i, j), keep in zip(pairs, included):
-        if keep:
-            weights[(i, j)] = draw(
-                st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
-            )
-    quotas = [draw(st.integers(1, max_quota)) for _ in range(n)]
-    return WeightTable(weights, n), quotas
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

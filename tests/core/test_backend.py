@@ -11,7 +11,7 @@ from repro.core.backend import (
 )
 from repro.core.lic import solve_modified_bmatching
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 class TestRegistry:

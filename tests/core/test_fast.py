@@ -15,7 +15,7 @@ from repro.core.lic import lic_matching, solve_modified_bmatching
 from repro.core.preferences import PreferenceSystem
 from repro.core.weights import satisfaction_weights
 
-from tests.conftest import preference_systems, random_ps, weighted_instances
+from repro.testing.strategies import preference_systems, random_ps, weighted_instances
 
 
 class TestWeightsFast:

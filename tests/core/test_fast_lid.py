@@ -18,7 +18,7 @@ from repro.core.fast_lid import FastLidResult, lid_matching_fast
 from repro.core.lid import run_lid, solve_lid
 from repro.core.weights import WeightTable, satisfaction_weights
 
-from tests.conftest import preference_systems, random_ps, weighted_instances
+from repro.testing.strategies import preference_systems, random_ps, weighted_instances
 
 
 def assert_replays_reference(wt: WeightTable, quotas) -> FastLidResult:

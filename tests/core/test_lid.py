@@ -13,7 +13,7 @@ from repro.distsim import (
     UniformLatency,
 )
 
-from tests.conftest import preference_systems, random_ps, weighted_instances
+from repro.testing.strategies import preference_systems, random_ps, weighted_instances
 
 
 class TestBasicRuns:

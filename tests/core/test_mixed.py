@@ -7,7 +7,7 @@ from repro.core.lic import lic_matching
 from repro.core.mixed import run_mixed_adoption
 from repro.core.weights import satisfaction_weights
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 class TestFullAdoption:

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.core.preferences import PreferenceSystem
 from repro.utils.validation import InvalidInstanceError
 
-from tests.conftest import preference_systems, random_ps
+from repro.testing.strategies import preference_systems, random_ps
 
 
 class TestConstruction:

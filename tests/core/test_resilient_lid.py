@@ -13,7 +13,7 @@ from repro.distsim.failures import (
 )
 from repro.distsim.reliable import BackoffPolicy
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 def _instance(n=24, p=0.3, b=2, seed=11):

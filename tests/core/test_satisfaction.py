@@ -18,7 +18,7 @@ from repro.core.satisfaction import (
 )
 from repro.core.preferences import PreferenceSystem
 
-from tests.conftest import preference_systems
+from repro.testing.strategies import preference_systems
 
 
 class TestFormulas:

@@ -7,7 +7,7 @@ from repro.core.lic import lic_matching
 from repro.core.variants import alpha_weight_table, two_phase_lid
 from repro.core.weights import satisfaction_weights
 
-from tests.conftest import preference_systems, random_ps
+from repro.testing.strategies import preference_systems, random_ps
 
 
 class TestTwoPhase:

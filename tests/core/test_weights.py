@@ -7,7 +7,7 @@ from repro.core.satisfaction import delta_static
 from repro.core.weights import WeightTable, edge_key, satisfaction_weights
 from repro.utils.validation import InvalidInstanceError
 
-from tests.conftest import preference_systems
+from repro.testing.strategies import preference_systems
 
 
 class TestWeightTable:

@@ -7,7 +7,7 @@ from repro.core.lic import lic_matching
 from repro.core.weights import satisfaction_weights
 from repro.distsim.network import Network
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 class TestSerialisation:

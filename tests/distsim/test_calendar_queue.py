@@ -18,7 +18,7 @@ from repro.distsim.network import ConstantLatency, Network, UniformLatency
 from repro.distsim.node import ProtocolNode
 from repro.distsim.scheduler import Simulator
 from repro.distsim.tracing import Trace
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 class Chatter(ProtocolNode):

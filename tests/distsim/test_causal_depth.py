@@ -6,7 +6,7 @@ from repro.core.lid import run_lid
 from repro.core.weights import satisfaction_weights
 from repro.distsim import ExponentialLatency, Network, ProtocolNode, Simulator
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 class Relay(ProtocolNode):

@@ -17,7 +17,7 @@ from repro.distsim.messages import Message
 from repro.distsim.network import Network
 from repro.distsim.scheduler import Simulator
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 class TestBernoulliLoss:

@@ -9,7 +9,7 @@ from repro.distsim.node import ProtocolNode
 from repro.distsim.scheduler import Simulator
 from repro.utils.validation import ProtocolError
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 class _Greedy(ProtocolNode):

@@ -16,7 +16,7 @@ from repro.overlay.analysis import (
 )
 from repro.overlay.topology import erdos_renyi
 
-from tests.conftest import random_ps
+from repro.testing.strategies import random_ps
 
 
 def _to_nx(adj):

@@ -1,0 +1,108 @@
+"""The cross-backend differential engine and the mutation harness."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.testing.differential import (
+    DEFAULT_PIPELINES,
+    PIPELINES,
+    REFERENCE_PIPELINE,
+    run_differential,
+    run_pipeline,
+)
+from repro.testing.mutations import MUTATIONS, mutant_pipeline
+from repro.testing.strategies import (
+    InstanceSpec,
+    generate_instance,
+    preference_systems,
+    random_ps,
+)
+
+
+class TestPipelines:
+    def test_registry_covers_all_backends(self):
+        assert set(PIPELINES) == {
+            "lic-reference", "lic-fast", "lid-reference", "lid-fast",
+            "lid-resilient",
+        }
+        assert REFERENCE_PIPELINE in DEFAULT_PIPELINES
+
+    @pytest.mark.parametrize("name", sorted(PIPELINES))
+    def test_each_pipeline_runs(self, name):
+        ps = random_ps(12, 0.4, 2, seed=0, ensure_edges=True)
+        run = run_pipeline(name, ps, seed=0)
+        assert run.pipeline == name
+        assert run.matching.n == ps.n
+        assert run.total_satisfaction >= 0.0
+
+    def test_message_counts_only_on_lid(self):
+        ps = random_ps(12, 0.4, 2, seed=1, ensure_edges=True)
+        lic = run_pipeline("lic-reference", ps)
+        lid = run_pipeline("lid-reference", ps)
+        assert lic.prop_messages is None
+        assert lid.prop_messages is not None and lid.prop_messages > 0
+
+
+class TestRunDifferential:
+    def test_all_backends_agree_on_random_instance(self):
+        ps = random_ps(30, 0.25, 3, seed=5, ensure_edges=True)
+        report = run_differential(ps, seed=5)
+        assert report.ok, report.summary()
+        assert set(report.runs) == set(DEFAULT_PIPELINES)
+        edges = {r.edge_set() for r in report.runs.values()}
+        assert len(edges) == 1  # all five pipelines, one edge set
+
+    @settings(max_examples=15, deadline=None)
+    @given(preference_systems(max_n=7))
+    def test_agreement_is_a_property(self, ps):
+        report = run_differential(ps)
+        assert report.ok, report.summary()
+
+    def test_generated_families_agree(self):
+        for family in ("geo", "ws", "reg"):
+            ps = generate_instance(InstanceSpec(family=family, n=16, seed=2))
+            report = run_differential(ps)
+            assert report.ok, f"{family}: {report.summary()}"
+
+    def test_subset_of_pipelines(self):
+        ps = random_ps(10, 0.4, 2, seed=0, ensure_edges=True)
+        report = run_differential(ps, pipelines=("lic-reference", "lid-fast"))
+        assert set(report.runs) == {"lic-reference", "lid-fast"}
+
+    def test_message_twins_checked(self):
+        ps = random_ps(20, 0.3, 2, seed=9, ensure_edges=True)
+        report = run_differential(
+            ps, pipelines=("lid-reference", "lid-fast")
+        )
+        a, b = report.runs["lid-reference"], report.runs["lid-fast"]
+        assert (a.prop_messages, a.rej_messages) == (b.prop_messages, b.rej_messages)
+        assert report.ok
+
+    def test_summary_names_the_divergence(self):
+        ps = random_ps(14, 0.4, 2, seed=0, ensure_edges=True)
+        report = run_differential(
+            ps, pipelines=("lic-reference",),
+            extra_pipelines={"mutant:quota-starve": MUTATIONS["quota-starve"]},
+        )
+        assert not report.ok
+        assert "quota-starve" in report.summary()
+
+
+class TestMutationsAreCaught:
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_every_planted_bug_diverges(self, mutation):
+        ps = generate_instance(InstanceSpec(
+            family="er", n=18, preference_model="uniform",
+            quota_model="constant", quota=3, seed=0,
+        ))
+        report = run_differential(
+            ps, pipelines=("lic-reference", "lid-fast"),
+            extra_pipelines={f"mutant:{mutation}": mutant_pipeline(mutation)},
+        )
+        tag = f"mutant:{mutation}"
+        caught = [d for d in report.divergences if tag in (d.left, d.right)]
+        assert caught, f"planted bug {mutation} was not caught"
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(KeyError, match="unknown mutation"):
+            mutant_pipeline("no-such-bug")

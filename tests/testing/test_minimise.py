@@ -1,0 +1,164 @@
+"""Counterexample minimisation, repro capture/replay, and the CLI."""
+
+import pytest
+
+from repro.core.preferences import PreferenceSystem
+from repro.testing.conformance import (
+    capture_repro,
+    conformance_sweep,
+    mutation_smoke,
+    replay_repro,
+    smoke_specs,
+)
+from repro.testing.minimise import (
+    ConformanceRepro,
+    load_repro,
+    minimise_instance,
+    save_repro,
+)
+from repro.testing.mutations import MUTATIONS
+from repro.testing.strategies import InstanceSpec, random_ps
+
+
+class TestMinimiseInstance:
+    def test_rejects_passing_instance(self):
+        ps = random_ps(6, 0.5, 2, seed=0, ensure_edges=True)
+        with pytest.raises(ValueError, match="does not hold"):
+            minimise_instance(ps, lambda _: False)
+
+    def test_shrinks_to_predicate_core(self):
+        # predicate: instance still contains >= 1 edge — minimal is a
+        # single edge between two nodes
+        ps = random_ps(12, 0.5, 3, seed=1, ensure_edges=True)
+        minimal = minimise_instance(ps, lambda c: c.m >= 1)
+        assert minimal.m == 1 and minimal.n == 2
+
+    def test_result_is_one_minimal(self):
+        ps = random_ps(10, 0.5, 3, seed=2, ensure_edges=True)
+        predicate = lambda c: c.m >= 2  # noqa: E731
+        minimal = minimise_instance(ps, predicate)
+        assert minimal.m == 2
+        # no single node/edge removal preserves the predicate
+        from repro.testing.minimise import _without_edge, _without_node
+
+        for v in range(minimal.n):
+            smaller = _without_node(minimal, v)
+            assert smaller is None or not predicate(smaller)
+        for e in minimal.edges():
+            smaller = _without_edge(minimal, *e)
+            assert smaller is None or not predicate(smaller)
+
+    def test_deterministic(self):
+        ps = random_ps(10, 0.5, 3, seed=3, ensure_edges=True)
+        a = minimise_instance(ps, lambda c: c.m >= 1)
+        b = minimise_instance(ps, lambda c: c.m >= 1)
+        assert a == b
+
+    def test_quota_lowering_reached(self):
+        ps = PreferenceSystem(
+            {0: [1, 2], 1: [0, 2], 2: [0, 1]}, 2
+        )
+        minimal = minimise_instance(ps, lambda c: c.b_max >= 2)
+        assert minimal.b_max == 2
+        assert all(
+            c.quota(i) <= 2 for c, i in [(minimal, i) for i in minimal.nodes()]
+        )
+
+
+class TestReproFiles:
+    def test_capture_minimises_and_records_kinds(self):
+        from repro.testing.conformance import _MUTATION_SPEC
+        from repro.testing.strategies import generate_instance
+
+        ps = generate_instance(_MUTATION_SPEC)
+        repro = capture_repro(ps, mutation="quota-inflate")
+        assert repro.instance.n < ps.n
+        assert repro.divergence_kinds  # something was recorded
+        assert repro.mutation == "quota-inflate"
+
+    def test_round_trip_and_replay(self, tmp_path):
+        from repro.testing.conformance import _MUTATION_SPEC
+        from repro.testing.strategies import generate_instance
+
+        ps = generate_instance(_MUTATION_SPEC)
+        repro = capture_repro(ps, mutation="lid-lock-drop")
+        path = tmp_path / "repro.json"
+        save_repro(repro, path)
+        back = load_repro(path)
+        assert back.instance == repro.instance
+        assert back.divergence_kinds == repro.divergence_kinds
+        reproduces, report = replay_repro(back)
+        assert reproduces, report.summary()
+
+    def test_load_rejects_non_repro_file(self, tmp_path):
+        from repro.serialization import save_json
+
+        path = tmp_path / "ps.json"
+        save_json(random_ps(4, 0.5, 1, seed=0, ensure_edges=True), path)
+        with pytest.raises(ValueError, match="not a conformance repro"):
+            load_repro(path)
+
+    def test_clean_repro_replays_clean(self):
+        # a repro with no recorded kinds is a regression fixture: the
+        # replay must also be divergence-free to "reproduce"
+        ps = random_ps(8, 0.4, 2, seed=4, ensure_edges=True)
+        repro = ConformanceRepro(instance=ps, pipelines=("lic-reference", "lid-fast"))
+        reproduces, report = replay_repro(repro)
+        assert reproduces and report.ok
+
+
+class TestConformanceEngine:
+    def test_sweep_clean_on_default_pipelines(self):
+        specs = [InstanceSpec(family="er", n=14, seed=s) for s in (0, 1)]
+        result = conformance_sweep(specs)
+        assert result.ok and len(result.cells) == 2
+        assert not result.failures
+
+    def test_smoke_specs_cover_edge_quota_model(self):
+        specs = smoke_specs(max_n=50)
+        assert any(s.quota_model == "degree" for s in specs)
+        assert any(s.n == 50 for s in specs)
+
+    def test_mutation_smoke_catches_everything(self, tmp_path):
+        result = mutation_smoke(out_dir=tmp_path)
+        assert result.ok, f"uncaught planted bugs: {result.missed}"
+        assert sorted(o.mutation for o in result.outcomes) == sorted(MUTATIONS)
+        for outcome in result.outcomes:
+            assert outcome.repro_path is not None and outcome.repro_path.exists()
+            # every minimised repro replays deterministically
+            reproduces, _ = replay_repro(load_repro(outcome.repro_path))
+            assert reproduces, outcome.mutation
+
+
+class TestCli:
+    def test_conformance_smoke_exit_zero_when_clean(self, capsys):
+        from repro.experiments.cli import main
+
+        # tiny sweep to keep the test fast; the real preset runs in CI
+        assert main(["conformance", "--max-n", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "planted bugs caught" in out
+
+    def test_conformance_replay_via_cli(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        result = mutation_smoke(mutations=["quota-starve"], out_dir=tmp_path)
+        path = result.outcomes[0].repro_path
+        assert main(["conformance", "--replay", str(path)]) == 0
+        assert "reproduces the recorded outcome" in capsys.readouterr().out
+
+    def test_conformance_replay_detects_staleness(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        result = mutation_smoke(mutations=["quota-starve"], out_dir=tmp_path)
+        repro = load_repro(result.outcomes[0].repro_path)
+        stale = ConformanceRepro(
+            instance=repro.instance, seed=repro.seed,
+            pipelines=repro.pipelines, mutation=repro.mutation,
+            description=repro.description,
+            divergence_kinds=("messages",),  # never produced by this bug
+        )
+        path = tmp_path / "stale.json"
+        save_repro(stale, path)
+        assert main(["conformance", "--replay", str(path)]) == 1
+        assert "REPLAY MISMATCH" in capsys.readouterr().out

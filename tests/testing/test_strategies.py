@@ -1,0 +1,105 @@
+"""The shared instance generators: determinism, coverage, edge cases."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.testing.strategies import (
+    PREFERENCE_MODELS,
+    QUOTA_MODELS,
+    InstanceSpec,
+    generate_instance,
+    generate_weighted_instance,
+    preference_systems,
+    random_ps,
+    spec_grid,
+    weighted_instances,
+)
+
+
+class TestGenerateInstance:
+    def test_deterministic(self):
+        spec = InstanceSpec(family="er", n=25, seed=7)
+        assert generate_instance(spec) == generate_instance(spec)
+
+    def test_seed_changes_instance(self):
+        a = generate_instance(InstanceSpec(family="er", n=25, seed=0))
+        b = generate_instance(InstanceSpec(family="er", n=25, seed=1))
+        assert a != b
+
+    @pytest.mark.parametrize("model", PREFERENCE_MODELS)
+    def test_preference_models_are_permutations(self, model):
+        ps = generate_instance(
+            InstanceSpec(family="geo", n=20, preference_model=model, seed=3)
+        )
+        for i in ps.nodes():
+            lst = ps.preference_list(i)
+            assert len(set(lst)) == len(lst)
+            assert all(i in ps.preference_list(j) for j in lst)
+
+    @pytest.mark.parametrize("qm", QUOTA_MODELS)
+    def test_quota_models(self, qm):
+        ps = generate_instance(
+            InstanceSpec(family="er", n=20, quota_model=qm, quota=3, seed=1)
+        )
+        for i in ps.nodes():
+            assert 0 <= ps.quota(i) <= max(len(ps.preference_list(i)), 0) or \
+                ps.quota(i) <= 3
+        if qm == "degree":
+            # the saturating edge case the oracles exercise: b_i = |L_i|
+            assert all(
+                ps.quota(i) == len(ps.preference_list(i)) for i in ps.nodes()
+            )
+        if qm == "one":
+            assert all(ps.quota(i) <= 1 for i in ps.nodes())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            generate_instance(InstanceSpec(family="torus", n=10))
+
+    def test_unknown_preference_model_rejected(self):
+        with pytest.raises(ValueError, match="preference model"):
+            generate_instance(InstanceSpec(preference_model="psychic", n=10))
+
+    def test_label_round_trip_fields(self):
+        spec = InstanceSpec(family="ba", n=40, preference_model="shared",
+                            quota_model="uniform", quota=2, seed=5)
+        assert spec.label() == "ba/n=40/shared/uniform-2/s5"
+
+
+class TestWeightedAndGrid:
+    def test_weighted_instance_covers_topology(self):
+        wt, quotas = generate_weighted_instance(InstanceSpec(family="er", n=20))
+        assert wt.n == 20 and len(quotas) == 20
+        assert all(w > 0 for _, w in wt.items())
+
+    def test_spec_grid_is_full_cross_product(self):
+        specs = list(spec_grid(families=("er",), sizes=(10, 20),
+                               preference_models=("uniform",),
+                               quota_models=("constant", "one"), seeds=(0, 1)))
+        assert len(specs) == 1 * 2 * 1 * 2 * 2
+        assert len(set(specs)) == len(specs)  # hashable + distinct
+
+
+class TestRandomPs:
+    def test_ensure_edges(self):
+        ps = random_ps(4, 0.0, 1, seed=0, ensure_edges=True)
+        assert ps.m >= 1
+
+    def test_isolated_nodes_allowed(self):
+        ps = random_ps(6, 0.0, 2, seed=0)
+        assert ps.m == 0
+
+
+class TestHypothesisStrategies:
+    @settings(max_examples=20, deadline=None)
+    @given(preference_systems())
+    def test_preference_systems_valid(self, ps):
+        for i in ps.nodes():
+            assert ps.quota(i) <= max(len(ps.preference_list(i)), 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(weighted_instances())
+    def test_weighted_instances_valid(self, inst):
+        wt, quotas = inst
+        assert wt.n == len(quotas)
+        assert all(w > 0 for _, w in wt.items())

@@ -4,9 +4,10 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core.lic import solve_modified_bmatching
+from repro.core.preferences import PreferenceSystem
 from repro.serialization import from_dict, load_json, save_json, to_dict
-
-from tests.conftest import preference_systems, weighted_instances
+from repro.testing.minimise import ConformanceRepro
+from repro.testing.strategies import preference_systems, weighted_instances
 
 
 class TestRoundTrips:
@@ -40,6 +41,72 @@ class TestRoundTrips:
         matching, wt = solve_modified_bmatching(small_ps)
         for obj in (small_ps, wt, matching):
             assert type(from_dict(to_dict(obj))) is type(obj)
+
+
+class TestEdgeCases:
+    def test_saturating_quotas(self):
+        # b_i = |L_i| for every node (the "degree" quota model)
+        ps = PreferenceSystem(
+            {0: [1, 2], 1: [0], 2: [0]}, {0: 2, 1: 1, 2: 1}
+        )
+        back = from_dict(to_dict(ps))
+        assert back == ps
+        assert all(
+            back.quota(i) == len(back.preference_list(i)) for i in back.nodes()
+        )
+
+    def test_isolated_nodes_and_empty_lists(self):
+        # node 2 is isolated: empty list, quota normalised to 0
+        ps = PreferenceSystem({0: [1], 1: [0], 2: []}, {0: 1, 1: 1, 2: 1})
+        back = from_dict(to_dict(ps))
+        assert back == ps
+        assert not back.preference_list(2) and back.quota(2) == 0
+
+    def test_edgeless_instance(self):
+        ps = PreferenceSystem({0: [], 1: []}, 1)
+        back = from_dict(to_dict(ps))
+        assert back == ps and back.m == 0
+
+
+class TestConformanceRepro:
+    def _repro(self):
+        ps = PreferenceSystem({0: [1], 1: [0]}, 1)
+        return ConformanceRepro(
+            instance=ps, seed=3, pipelines=("lic-reference", "lid-fast"),
+            mutation="quota-inflate", description="unit fixture",
+            divergence_kinds=("matching", "oracle"),
+        )
+
+    def test_dict_round_trip(self):
+        repro = self._repro()
+        back = from_dict(to_dict(repro))
+        assert isinstance(back, ConformanceRepro)
+        assert back == repro
+
+    def test_file_round_trip(self, tmp_path):
+        repro = self._repro()
+        p = tmp_path / "repro.json"
+        save_json(repro, p)
+        assert load_json(p) == repro
+
+    def test_organic_repro_defaults(self):
+        # mutation=None (an organic divergence) survives the round trip
+        ps = PreferenceSystem({0: [1], 1: [0]}, 1)
+        repro = ConformanceRepro(instance=ps)
+        back = from_dict(to_dict(repro))
+        assert back.mutation is None and back.pipelines == ()
+
+    def test_repro_must_embed_preference_system(self):
+        data = to_dict(self._repro())
+        data["instance"] = {"type": "matching", "n": 2, "edges": [[0, 1]]}
+        with pytest.raises(ValueError, match="preference_system"):
+            from_dict(data)
+
+    @settings(max_examples=15, deadline=None)
+    @given(preference_systems())
+    def test_arbitrary_instances_embed(self, ps):
+        repro = ConformanceRepro(instance=ps, divergence_kinds=("matching",))
+        assert from_dict(to_dict(repro)) == repro
 
 
 class TestErrors:
