@@ -7,6 +7,13 @@ constant average degree.  Expected shape: near-linear growth of LIC
 time and of total messages in m; rounds grow roughly logarithmically /
 stay flat, since proposal waves are local.
 
+Since the grid migration the sweep itself is a declarative
+:class:`~repro.experiments.gridspec.GridSpec` executed by
+:func:`~repro.experiments.grid.run_grid` — the ``lic-*`` and ``lid-*``
+engines run as separate grid cells over bit-identical instances (cell
+seeding is engine-independent) and this file only pivots the records
+into the F2 table.
+
 Backend-aware (``--repro-backend`` / ``REPRO_BENCH_BACKEND``): the
 ``reference`` backend drives the event-by-event simulator, the ``fast``
 backend the round-batched engine — which also extends the series to
@@ -15,57 +22,54 @@ reach in a smoke run.  Whichever backend runs the sweep, the smallest
 size is cross-checked between both engines.
 """
 
-import time
-
-from repro.core.fast import FastInstance, lic_matching_fast
+from repro.core.fast import FastInstance
 from repro.core.fast_lid import lid_matching_fast
 from repro.core.lic import lic_matching
 from repro.core.lid import run_lid
 from repro.core.weights import satisfaction_weights
-from repro.experiments import random_preference_instance
+from repro.experiments import GridSpec, random_preference_instance, run_grid
 
 SIZES = (100, 200, 400, 800)
 FAST_EXTRA_SIZES = (3200, 12800)
 
 
-def _measure(ps, backend):
-    """Return ``(lic_matching_result, lid_result, t_lic, t_lid)``."""
-    if backend == "fast":
-        fi = FastInstance.from_preference_system(ps)
-        t0 = time.perf_counter()
-        lic = lic_matching_fast(fi)
-        t_lic = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        res = lid_matching_fast(fi)
-        t_lid = time.perf_counter() - t0
-    else:
-        wt = satisfaction_weights(ps)
-        t0 = time.perf_counter()
-        lic = lic_matching(wt, ps.quotas)
-        t_lic = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        res = run_lid(wt, ps.quotas)
-        t_lid = time.perf_counter() - t0
-    return lic, res, t_lic, t_lid
+def f2_spec(backend: str, sizes=None) -> GridSpec:
+    """The F2 grid: both pipelines of one backend at constant degree 10."""
+    sizes = sizes or (SIZES + (FAST_EXTRA_SIZES if backend == "fast" else ()))
+    return GridSpec(
+        name=f"f2-{backend}",
+        engines=(f"lic-{backend}", f"lid-{backend}"),
+        families=("er",),
+        sizes=tuple(sizes),
+        quotas=(3,),
+        seeds=(1,),
+        degree=10.0,
+    )
 
 
 def test_f2_scalability_series(report, benchmark, bench_backend):
-    sizes = SIZES + (FAST_EXTRA_SIZES if bench_backend == "fast" else ())
+    spec = f2_spec(bench_backend)
+    result = run_grid(spec)
+    assert result.ok, [r for r in result.failures]
+    by = {(r["engine"], r["n"]): r for r in result.records}
+
     rows = []
-    for n in sizes:
-        ps = random_preference_instance(n, p=10.0 / n, quota=3, seed=1)
-        lic, res, t_lic, t_lid = _measure(ps, bench_backend)
-        assert res.matching.edge_set() == lic.edge_set()
+    for n in spec.sizes:
+        lic = by[(f"lic-{bench_backend}", n)]
+        lid = by[(f"lid-{bench_backend}", n)]
+        assert lid["m"] == lic["m"]  # engine-independent instances
+        assert lid["lid_equals_lic"]  # Lemmas 4/6 per cell
+        assert lid["edges"] == lic["edges"]
         rows.append(
             {
                 "n": n,
-                "m": ps.m,
+                "m": lic["m"],
                 "backend": bench_backend,
-                "lic_ms": 1e3 * t_lic,
-                "lid_ms": 1e3 * t_lid,
-                "messages": res.metrics.total_sent,
-                "msgs_per_edge": res.metrics.total_sent / max(ps.m, 1),
-                "rounds": res.rounds,
+                "lic_ms": lic["lic_ms"],
+                "lid_ms": lid["lid_ms"],
+                "messages": lid["messages"],
+                "msgs_per_edge": lid["msgs_per_edge"],
+                "rounds": lid["rounds"],
             }
         )
     report(

@@ -5,29 +5,41 @@ satisfaction against the exact maximising-satisfaction b-matching (MILP
 with the dynamic term linearised).  Expected shape: every ratio within
 [¼(1+1/b_max), 1]; ratios in practice near 0.85–0.95, well above the
 pessimistic bound, and increasing head-room as b grows.
-"""
 
+Since the grid migration the (n × b × seed) sweep is a declarative
+:class:`~repro.experiments.gridspec.GridSpec` with ``measure_ratio``
+enabled — each cell solves the MILP optimum and records the Theorem-3
+fields; this file only aggregates the records (worst ratio over seeds).
+"""
 
 from repro.core.lid import solve_lid
 from repro.experiments import (
+    GridSpec,
     aggregate,
     random_preference_instance,
-    satisfaction_ratio_record,
-    sweep,
+    run_grid,
 )
 
 
-def _run(n: int, b: int, seed: int) -> dict:
-    ps = random_preference_instance(n, p=0.3, quota=b, seed=seed)
-    rec = satisfaction_ratio_record(ps)
-    rec["b"] = b
-    return rec
+def t2_spec() -> GridSpec:
+    """The T2 grid: LID vs the exact optimum on small dense instances."""
+    return GridSpec(
+        name="t2-ratio",
+        engines=("lid-reference",),
+        families=("er",),
+        sizes=(15, 25, 35),
+        quotas=(1, 2, 4),
+        seeds=(0, 1, 2),
+        density=0.3,
+        measure_ratio=True,
+    )
 
 
 def test_t2_satisfaction_ratio_table(report, benchmark):
-    rows = sweep(_run, {"n": [15, 25, 35], "b": [1, 2, 4], "seed": [0]}, repeats=3)
+    result = run_grid(t2_spec())
+    assert result.ok, [r for r in result.failures]
     agg = aggregate(
-        rows,
+        result.records,
         ["n", "b"],
         ["ratio", "bound", "bound_ok", "lid_sat", "opt_sat"],
         reducers={"ratio": min},

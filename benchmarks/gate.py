@@ -1,0 +1,122 @@
+"""CSV threshold gate for CI: fail when an archived metric regresses.
+
+Replaces the inline heredoc that used to live in ``ci.yml`` so the gate
+logic is unit-testable (``tests/experiments/test_gate.py``).  Reads an
+archived benchmark CSV, selects rows with ``--where`` equality filters,
+and requires the gated column to meet ``--min`` on every selected row;
+``--require-row`` additionally asserts that certain rows exist at all
+(guarding against silently dropped scalability rows).
+
+Usage (the bench-smoke job)::
+
+    python benchmarks/gate.py benchmarks/results/p4_fast_lid.csv \
+        --column speedup --min 10 --where n=20000 --require-row n=100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["GateError", "check_gate", "load_rows", "main", "parse_condition"]
+
+
+class GateError(AssertionError):
+    """The gate failed: a regression, or a required row went missing."""
+
+
+def parse_condition(text: str) -> tuple[str, str]:
+    """Parse a ``key=value`` filter; raises ``ValueError`` otherwise."""
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise ValueError(f"condition {text!r} is not of the form key=value")
+    return key.strip(), value.strip()
+
+
+def load_rows(path: "str | Path") -> list[dict]:
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def _matches(row: Mapping[str, str], conds: Sequence[tuple[str, str]]) -> bool:
+    return all(row.get(k) == v for k, v in conds)
+
+
+def check_gate(
+    rows: Sequence[Mapping[str, str]],
+    column: str,
+    minimum: float,
+    where: Sequence[tuple[str, str]] = (),
+    require_rows: Sequence[Sequence[tuple[str, str]]] = (),
+) -> list[str]:
+    """Apply the gate; returns human-readable pass messages.
+
+    Raises :class:`GateError` when no row matches ``where``, when any
+    matching row's ``column`` falls below ``minimum`` (or is missing /
+    non-numeric), or when any ``require_rows`` condition set matches no
+    row.
+    """
+    gated = [r for r in rows if _matches(r, where)]
+    label = " and ".join(f"{k}={v}" for k, v in where) or "any row"
+    if not gated:
+        raise GateError(f"no row matches {label} — the gate row was dropped")
+    messages = []
+    for row in gated:
+        raw = row.get(column)
+        try:
+            value = float(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise GateError(
+                f"row {label} has no numeric {column!r} (got {raw!r})"
+            ) from None
+        if value < minimum:
+            raise GateError(
+                f"{column} regressed: {value:g} < {minimum:g} at {label}"
+            )
+        messages.append(f"gate ok: {column}={value:g} >= {minimum:g} at {label}")
+    for conds in require_rows:
+        req_label = " and ".join(f"{k}={v}" for k, v in conds)
+        if not any(_matches(r, conds) for r in rows):
+            raise GateError(f"required row {req_label} is missing")
+        messages.append(f"row present: {req_label}")
+    return messages
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Gate an archived benchmark CSV against a threshold."
+    )
+    parser.add_argument("csv", help="path of the archived CSV")
+    parser.add_argument("--column", required=True,
+                        help="numeric column the threshold applies to")
+    parser.add_argument("--min", required=True, type=float, dest="minimum",
+                        help="minimum acceptable value of the column")
+    parser.add_argument("--where", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="row filter; repeatable (all must match)")
+    parser.add_argument("--require-row", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="assert a row with KEY=VALUE exists; repeatable")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        where = [parse_condition(c) for c in args.where]
+        require = [[parse_condition(c)] for c in args.require_row]
+        messages = check_gate(load_rows(args.csv), args.column, args.minimum,
+                              where, require)
+    except (GateError, ValueError, OSError) as exc:
+        print(f"GATE FAILED: {exc}", file=sys.stderr)
+        return 1
+    for msg in messages:
+        print(msg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,14 @@ metric computation and table printing to this package so results stay
 consistent between tests, benches and EXPERIMENTS.md.
 """
 
+from repro.experiments.aggregate import (
+    GridIncompleteError,
+    collect_records,
+    grid_status,
+    render_report,
+    summarise,
+    write_report,
+)
 from repro.experiments.campaign import (
     CampaignCell,
     CampaignConfig,
@@ -13,6 +21,22 @@ from repro.experiments.campaign import (
     effective_blocking_edges,
     run_campaign,
     run_cell,
+)
+from repro.experiments.grid import (
+    GridRunResult,
+    GridStore,
+    StaleStoreError,
+    run_grid,
+    run_grid_cell,
+)
+from repro.experiments.gridspec import (
+    ENGINES,
+    PROFILES,
+    FaultSpec,
+    GridCell,
+    GridSpec,
+    engine_backend,
+    load_spec,
 )
 from repro.experiments.instances import (
     FAMILIES,
@@ -28,6 +52,24 @@ from repro.experiments.reporting import format_table, print_table, write_csv
 from repro.experiments.runner import aggregate, sweep
 
 __all__ = [
+    "ENGINES",
+    "PROFILES",
+    "FaultSpec",
+    "GridCell",
+    "GridIncompleteError",
+    "GridRunResult",
+    "GridSpec",
+    "GridStore",
+    "StaleStoreError",
+    "collect_records",
+    "engine_backend",
+    "grid_status",
+    "load_spec",
+    "render_report",
+    "run_grid",
+    "run_grid_cell",
+    "summarise",
+    "write_report",
     "CampaignCell",
     "CampaignConfig",
     "CampaignResult",

@@ -112,6 +112,39 @@ class CampaignConfig:
                         for seed in self.seeds:
                             yield (loss, crash, part, byz, seed)
 
+    def to_grid_spec(self, name: str = "fault-campaign") -> "GridSpec":
+        """Lower the fault matrix to a resilient-engine grid spec.
+
+        The fault axes become canonical fault-DSL strings in the same
+        product order :meth:`cells` sweeps, so grid records map back to
+        :class:`CampaignCell` positionally as well as by coordinates.
+        """
+        from repro.experiments.gridspec import FaultSpec, GridSpec
+
+        faults = tuple(
+            FaultSpec(loss=lo, crash=cr, partition=pa, byzantine=by).label()
+            for lo in self.loss_rates
+            for cr in self.crash_fracs
+            for pa in self.partition
+            for by in self.byzantine_fracs
+        )
+        return GridSpec(
+            name=name,
+            engines=("resilient",),
+            families=("er",),
+            sizes=(self.n,),
+            quotas=(self.quota,),
+            churn=(0,),
+            faults=faults,
+            seeds=tuple(self.seeds),
+            density=self.density,
+            heartbeat_interval=self.heartbeat_interval,
+            suspect_after=self.suspect_after,
+            partition_start=self.partition_start,
+            backoff=(self.backoff.base, self.backoff.factor, self.backoff.cap,
+                     self.backoff.jitter, self.backoff.budget),
+        )
+
 
 @dataclass
 class CampaignCell:
@@ -320,20 +353,59 @@ def run_cell(
     )
 
 
+def _cell_from_record(record: dict) -> CampaignCell:
+    """Rehydrate a grid record (resilient engine) into a CampaignCell."""
+    from repro.experiments.gridspec import FaultSpec
+
+    fault = FaultSpec.parse(record["fault"])
+    return CampaignCell(
+        loss=fault.loss,
+        crash_frac=fault.crash,
+        partitioned=fault.partition,
+        byzantine_frac=fault.byzantine,
+        seed=record["seed"],
+        terminated=record["terminated"],
+        violations=list(record["violations"]),
+        blocking_edges=record["blocking_edges"],
+        valid=record["valid"],
+        live_honest=record["live_honest"],
+        clean=record["clean"],
+        matched_edges=record["matched_edges"],
+        satisfaction=record["satisfaction"],
+        baseline_satisfaction=record["baseline_satisfaction"],
+        retransmissions=record["retransmissions"],
+        events=record["events"],
+    )
+
+
 def run_campaign(
     config: Optional[CampaignConfig] = None,
     progress=None,
+    store=None,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
     """Sweep the full fault matrix; never raises on a failing cell.
 
+    Since the grid migration this is a thin adapter over
+    :func:`repro.experiments.grid.run_grid`: the fault matrix lowers to
+    a resilient-engine :class:`~repro.experiments.gridspec.GridSpec`
+    (:meth:`CampaignConfig.to_grid_spec`), which brings parallel
+    execution (``workers``) and a resumable result store (``store``, a
+    directory or :class:`~repro.experiments.grid.GridStore`) for free.
+
     ``progress`` is an optional callable receiving each finished
-    :class:`CampaignCell` (the CLI uses it to stream the table).
+    :class:`CampaignCell` (the CLI uses it to stream the table); with a
+    resumed store only newly executed cells stream.
     """
     config = config or CampaignConfig()
-    cells = []
-    for loss, crash, part, byz, seed in config.cells():
-        cell = run_cell(config, loss, crash, part, byz, seed)
-        cells.append(cell)
-        if progress is not None:
-            progress(cell)
+    from repro.experiments.grid import run_grid
+
+    spec = config.to_grid_spec()
+    grid_progress = None
+    if progress is not None:
+        def grid_progress(cell, record, _cb=progress):
+            _cb(_cell_from_record(record))
+    result = run_grid(spec, store=store, workers=workers,
+                      progress=grid_progress)
+    cells = [_cell_from_record(rec) for rec in result.records]
     return CampaignResult(config=config, cells=cells)

@@ -11,6 +11,10 @@ Entry point (installed via ``python -m repro``):
 - ``python -m repro campaign [--smoke]``            — seeded fault
   campaign (loss × crash × partition × Byzantine); ``--smoke`` is the
   chaos-smoke CI preset and exits non-zero on any invariant violation;
+- ``python -m repro grid run|status|report``        — declarative
+  parameter grids (engine × family × n × b × churn × fault × seed)
+  with resumable parallel execution and aggregation; ``grid run
+  --smoke`` is the grid-smoke CI merge gate;
 - ``python -m repro conformance [--smoke]``         — cross-backend
   differential sweep + oracle battery + mutation smoke; ``--smoke`` is
   the conformance-smoke CI preset and exits non-zero iff a divergence /
@@ -179,6 +183,105 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _grid_spec_of(args):
+    """Resolve --spec FILE / --profile NAME / --smoke to a GridSpec."""
+    from repro.experiments.gridspec import PROFILES, GridSpec
+
+    if getattr(args, "spec", None):
+        return GridSpec.from_toml(args.spec)
+    profile = args.profile or ("smoke" if args.smoke else None)
+    if profile is None:
+        raise SystemExit(
+            "grid: select a sweep with --profile NAME, --spec FILE or --smoke"
+        )
+    return PROFILES[profile]
+
+
+def _grid_store_of(args, spec):
+    from pathlib import Path
+
+    from repro.experiments.grid import GridStore
+
+    if args.store:
+        return GridStore(args.store)
+    # default store path embeds the spec hash: an edited spec lands in a
+    # fresh store instead of tripping the stale-cell check
+    return GridStore(Path(".gridstore") / f"{spec.name}-{spec.spec_hash()}")
+
+
+def _print_grid_summary(spec, records) -> None:
+    from repro.experiments.aggregate import summarise
+
+    rows = summarise(records)
+    columns: list[str] = []
+    for r in rows:
+        for c in r:
+            if c not in columns:
+                columns.append(c)
+    print_table(rows, columns,
+                title=f"grid {spec.name} — {len(records)} cells,"
+                      f" spec {spec.spec_hash()}")
+
+
+def _cmd_grid(args) -> int:
+    from repro.experiments.aggregate import (
+        GridIncompleteError,
+        grid_status,
+        write_report,
+    )
+    from repro.experiments.grid import StaleStoreError, run_grid
+
+    spec = _grid_spec_of(args)
+    store = _grid_store_of(args, spec)
+    try:
+        if args.grid_command == "status":
+            st = grid_status(spec, store)
+            print(f"grid {st['name']} (spec {st['hash']}):"
+                  f" {st['done']}/{st['total']} cells complete")
+            for cell_id in st["missing"][:10]:
+                print(f"  missing {cell_id}")
+            if len(st["missing"]) > 10:
+                print(f"  ... and {len(st['missing']) - 10} more")
+            return 0
+
+        if args.grid_command == "report":
+            paths = write_report(spec, store, out_dir=args.out,
+                                 allow_partial=args.partial)
+            from repro.experiments.aggregate import collect_records
+
+            records = collect_records(spec, store, allow_partial=True)
+            _print_grid_summary(spec, records)
+            for kind in ("report", "summary", "cells"):
+                print(f"{kind}: {paths[kind]}")
+            return 0
+
+        # run
+        total = len(spec.cells())
+        done = [0]
+
+        def progress(cell, record):
+            done[0] += 1
+            status = "ok" if record["ok"] else "FAIL"
+            print(f"[{done[0]}/{total}] {cell.cell_id}: {status}")
+
+        result = run_grid(spec, store=store, workers=args.workers,
+                          progress=progress)
+        _print_grid_summary(spec, result.records)
+        print(f"store: {store.root}  ({result.executed} executed,"
+              f" {result.reused} reused)")
+        if not result.ok:
+            for rec in result.failures:
+                print(f"FAILED cell {rec['engine']}/{rec['family']}"
+                      f"/n={rec['n']}/b={rec['b']}/churn={rec['churn']}"
+                      f"/{rec['fault']}/seed={rec['seed']}")
+            return 1
+        print(f"all {total} cells ok")
+        return 0
+    except (StaleStoreError, GridIncompleteError) as exc:
+        print(f"grid: {exc}")
+        return 1
+
+
 def _cmd_campaign(args) -> int:
     from repro.experiments.campaign import CampaignConfig, run_campaign
 
@@ -198,7 +301,7 @@ def _cmd_campaign(args) -> int:
             n=args.n or 60,
             seeds=tuple(range(args.seeds)),
         )
-    res = run_campaign(config)
+    res = run_campaign(config, workers=args.workers)
     print_table(
         res.rows(),
         title=f"fault campaign (n={config.n}, {len(res.cells)} cells)",
@@ -371,7 +474,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="the chaos-smoke CI preset: one large adversarial"
                         " sweep, non-zero exit on any violation")
+    p.add_argument("--workers", type=int, default=None,
+                   help="evaluate fault cells in a process pool (the"
+                        " campaign runs through the grid engine)")
     p.set_defaults(fn=_cmd_campaign)
+
+    p = sub.add_parser(
+        "grid",
+        help="declarative parameter grids: resumable parallel sweeps"
+             " with aggregation (engine x family x n x b x churn x fault)",
+    )
+    gsub = p.add_subparsers(dest="grid_command", required=True)
+    from repro.experiments.gridspec import PROFILES
+
+    def _grid_common(gp, with_run_flags=False):
+        gp.add_argument("--profile", choices=sorted(PROFILES), default=None,
+                        help="a built-in sweep profile")
+        gp.add_argument("--spec", default=None, metavar="FILE",
+                        help="a TOML grid-spec file (see docs/experiments.md)")
+        gp.add_argument("--smoke", action="store_true",
+                        help="shorthand for --profile smoke — the grid-smoke"
+                             " CI merge gate; non-zero exit on any failing cell")
+        gp.add_argument("--store", default=None, metavar="DIR",
+                        help="result-store directory (default:"
+                             " .gridstore/<name>-<spec-hash>)")
+        if with_run_flags:
+            gp.add_argument("--workers", type=int, default=None,
+                            help="process-pool width for cell execution")
+        gp.set_defaults(fn=_cmd_grid)
+
+    _grid_common(gsub.add_parser(
+        "run", help="execute every missing cell, reusing completed ones"),
+        with_run_flags=True)
+    _grid_common(gsub.add_parser(
+        "status", help="completed vs missing cells of a store"))
+    gp = gsub.add_parser(
+        "report", help="aggregate a store into report.md / summary.csv")
+    _grid_common(gp)
+    gp.add_argument("--out", default=None, metavar="DIR",
+                    help="also write grid_<name>_summary.csv /"
+                         " grid_<name>_report.md into DIR (e.g."
+                         " benchmarks/results)")
+    gp.add_argument("--partial", action="store_true",
+                    help="report over an incomplete store")
 
     p = sub.add_parser(
         "conformance",

@@ -1,0 +1,399 @@
+"""Resumable parallel execution of declarative parameter grids.
+
+The execution layer behind ``python -m repro grid``: expand a
+:class:`~repro.experiments.gridspec.GridSpec` into cells, run each cell
+through its engine, and persist one JSON record per completed cell in a
+content-addressed on-disk store, so a killed run restarts exactly where
+it stopped.
+
+Store layout (all JSON canonicalised with sorted keys)::
+
+    <store>/
+      spec.json             # {"version", "name", "hash", "spec": {...}}
+      cells/<cell_id>.json  # one flat record per completed cell
+
+``spec.json`` pins the spec hash the store was created for.  Opening a
+store whose recorded hash differs from the spec being run raises
+:class:`StaleStoreError` — stale cells are never silently reused; the
+default CLI store path embeds the hash, so edited specs land in fresh
+stores automatically.
+
+Every record is ``cell coordinates + engine metrics + "ok"``.  All
+metric fields are deterministic functions of the cell coordinates
+except wall-clock timings, which by convention end in ``"_ms"`` and are
+excluded from the canonical aggregate (so an interrupted-and-resumed
+run reports byte-identically to an uninterrupted one — asserted in
+``tests/experiments/test_grid.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.core.backend import get_backend
+from repro.experiments.gridspec import (
+    LID_ENGINES,
+    FaultSpec,
+    GridCell,
+    GridSpec,
+    engine_backend,
+)
+from repro.experiments.instances import (
+    family_instance,
+    random_preference_instance,
+    topology_for_family,
+)
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "GridRunResult",
+    "GridStore",
+    "StaleStoreError",
+    "run_grid",
+    "run_grid_cell",
+]
+
+STORE_VERSION = 1
+
+
+class StaleStoreError(RuntimeError):
+    """A result store keyed by a different spec hash was reused."""
+
+
+# ---------------------------------------------------------------------
+# result store
+# ---------------------------------------------------------------------
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    tmp.replace(path)
+
+
+class GridStore:
+    """One-JSON-per-cell result store, content-addressed by spec hash."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+
+    @property
+    def spec_path(self) -> Path:
+        return self.root / "spec.json"
+
+    def prepare(self, spec: GridSpec) -> None:
+        """Create or verify the store for ``spec``.
+
+        Raises :class:`StaleStoreError` when the store already holds
+        cells of a different spec (changed hash, or cells with no
+        recorded spec at all) — completed work is only ever reused for
+        the byte-identical spec.
+        """
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": STORE_VERSION,
+            "name": spec.name,
+            "hash": spec.spec_hash(),
+            "spec": spec.to_mapping(),
+        }
+        if self.spec_path.exists():
+            existing = json.loads(self.spec_path.read_text())
+            if existing.get("hash") != payload["hash"]:
+                raise StaleStoreError(
+                    f"store {self.root} holds results for spec"
+                    f" {existing.get('name')!r} hash {existing.get('hash')},"
+                    f" but the current spec {spec.name!r} hashes to"
+                    f" {payload['hash']}: refusing to reuse stale cells"
+                    " (point --store at a fresh directory)"
+                )
+            return
+        if self.done_ids():
+            raise StaleStoreError(
+                f"store {self.root} has cell files but no spec.json:"
+                " cannot establish which spec produced them"
+            )
+        _atomic_write(self.spec_path,
+                      json.dumps(payload, sort_keys=True, indent=1) + "\n")
+
+    def spec_mapping(self) -> dict:
+        """The stored spec payload (raises if the store is unprepared)."""
+        return json.loads(self.spec_path.read_text())
+
+    def done_ids(self) -> set[str]:
+        if not self.cells_dir.is_dir():
+            return set()
+        return {p.stem for p in self.cells_dir.glob("*.json")}
+
+    def save(self, cell_id: str, record: dict) -> None:
+        _atomic_write(self.cells_dir / f"{cell_id}.json",
+                      json.dumps(record, sort_keys=True) + "\n")
+
+    def load(self, cell_id: str) -> dict:
+        return json.loads((self.cells_dir / f"{cell_id}.json").read_text())
+
+
+# ---------------------------------------------------------------------
+# per-cell engines
+# ---------------------------------------------------------------------
+
+
+def _instance(spec: GridSpec, cell: GridCell):
+    """The cell's preference instance — engine-independent by design.
+
+    Seeding never involves the engine axis, so every engine of a grid
+    sees bit-identical instances and rows are directly comparable.
+    """
+    if spec.density is not None:
+        return random_preference_instance(cell.n, spec.density, cell.b,
+                                          seed=cell.seed)
+    if spec.degree is not None:
+        return random_preference_instance(cell.n, spec.degree / cell.n, cell.b,
+                                          seed=cell.seed)
+    return family_instance(cell.family, cell.n, cell.b, seed=cell.seed)
+
+
+def _sat_stats(ps, matching) -> dict:
+    v = matching.satisfaction_vector(ps)
+    return {
+        "edges": int(matching.size()),
+        "sat_total": float(v.sum()),
+        "sat_mean": float(v.mean()),
+        "sat_min": float(v.min()),
+    }
+
+
+def _ratio_fields(ps) -> dict:
+    from repro.experiments.ratios import satisfaction_ratio_record
+
+    rec = satisfaction_ratio_record(ps)
+    rec.pop("n", None)  # already a cell coordinate
+    return {k: (float(v) if isinstance(v, float) else v) for k, v in rec.items()}
+
+
+def _run_static(spec: GridSpec, cell: GridCell) -> dict:
+    ps = _instance(spec, cell)
+    backend = get_backend(engine_backend(cell.engine))
+    record: dict = {"m": int(ps.m)}
+
+    if cell.engine in LID_ENGINES:
+        wt = backend.build_weights(ps)
+        t0 = time.perf_counter()
+        res = backend.lid(wt, list(ps.quotas))
+        record["lid_ms"] = 1e3 * (time.perf_counter() - t0)
+        matching = res.matching
+        record["messages"] = int(res.metrics.total_sent)
+        record["rounds"] = int(res.rounds)
+        record["msgs_per_edge"] = float(res.metrics.total_sent / max(ps.m, 1))
+        if spec.verify:
+            record["lid_equals_lic"] = (
+                matching.edge_set() == backend.lic(wt, list(ps.quotas)).edge_set()
+            )
+    else:
+        t0 = time.perf_counter()
+        matching = backend.solve(ps)
+        record["lic_ms"] = 1e3 * (time.perf_counter() - t0)
+
+    record.update(_sat_stats(ps, matching))
+    try:
+        matching.validate(ps)
+        record["valid"] = True
+    except Exception:
+        record["valid"] = False
+    if spec.measure_ratio:
+        record.update(_ratio_fields(ps))
+    record["ok"] = bool(
+        record["valid"]
+        and record.get("lid_equals_lic", True)
+        and record.get("bound_ok", True)
+    )
+    return record
+
+
+def _run_churn(spec: GridSpec, cell: GridCell) -> dict:
+    from repro.overlay import DynamicOverlay
+    from repro.overlay.metrics import PrivateTasteMetric
+    from repro.overlay.peer import Peer, generate_peers
+
+    rng = spawn_rng(cell.seed, "grid-churn", cell.family, str(cell.n), str(cell.b))
+    topo = topology_for_family(cell.family, cell.n, rng)
+    peers = generate_peers(cell.n, rng, quota_range=(cell.b, cell.b))
+    overlay = DynamicOverlay(topo, peers, PrivateTasteMetric(seed=cell.seed),
+                             backend=engine_backend(cell.engine))
+    changes = reused = recomputed = 0
+    t0 = time.perf_counter()
+    for _ in range(cell.churn):
+        if rng.random() < 0.5 and overlay.n > max(10, cell.n // 3):
+            stats = overlay.leave(int(rng.choice(overlay.active_ids())))
+        else:
+            ids = overlay.active_ids()
+            k = min(int(rng.integers(2, 6)), len(ids))
+            neigh = [int(x) for x in rng.choice(ids, size=k, replace=False)]
+            _, stats = overlay.join(
+                Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=cell.b),
+                neigh,
+            )
+        changes += stats.resolutions
+        reused += stats.weights_reused
+        recomputed += stats.weights_recomputed
+    wall = time.perf_counter() - t0
+    return {
+        "alive": int(overlay.n),
+        "changes": int(changes),
+        "sat_total": float(overlay.total_satisfaction()),
+        "weights_reused": int(reused),
+        "weights_recomputed": int(recomputed),
+        "churn_ms": 1e3 * wall,
+        "ok": True,
+    }
+
+
+def _run_resilient(spec: GridSpec, cell: GridCell) -> dict:
+    from repro.distsim.reliable import BackoffPolicy
+    from repro.experiments.campaign import CampaignConfig
+    from repro.experiments.campaign import run_cell as run_fault_cell
+
+    fault = FaultSpec.parse(cell.fault)
+    config = CampaignConfig(
+        n=cell.n,
+        density=spec.density if spec.density is not None else 0.15,
+        quota=cell.b,
+        loss_rates=(fault.loss,),
+        crash_fracs=(fault.crash,),
+        partition=(fault.partition,),
+        byzantine_fracs=(fault.byzantine,),
+        seeds=(cell.seed,),
+        heartbeat_interval=spec.heartbeat_interval,
+        suspect_after=spec.suspect_after,
+        partition_start=spec.partition_start,
+        backoff=BackoffPolicy(*spec.backoff) if spec.backoff else BackoffPolicy(),
+    )
+    t0 = time.perf_counter()
+    cc = run_fault_cell(config, fault.loss, fault.crash, fault.partition,
+                        fault.byzantine, cell.seed)
+    wall = time.perf_counter() - t0
+    record = asdict(cc)
+    # the coordinates already carry the fault model and seed
+    for coord in ("loss", "crash_frac", "partitioned", "byzantine_frac", "seed"):
+        record.pop(coord)
+    record["satisfaction"] = float(record["satisfaction"])
+    record["baseline_satisfaction"] = float(record["baseline_satisfaction"])
+    record["degradation"] = float(cc.degradation)
+    record["resilient_ms"] = 1e3 * wall
+    record["ok"] = bool(cc.ok)
+    return record
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/containers so records survive the JSON store."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
+
+
+def run_grid_cell(spec: GridSpec, cell: GridCell) -> dict:
+    """Run one cell and return its flat record (coordinates + metrics)."""
+    if cell.engine == "resilient":
+        metrics = _run_resilient(spec, cell)
+    elif cell.churn:
+        metrics = _run_churn(spec, cell)
+    else:
+        metrics = _run_static(spec, cell)
+    return _jsonable({**cell.coords(), **metrics})
+
+
+def _cell_job(spec: GridSpec, cell: GridCell) -> dict:
+    """Module-level shim so cells survive pickling to worker processes."""
+    return run_grid_cell(spec, cell)
+
+
+# ---------------------------------------------------------------------
+# grid driver
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class GridRunResult:
+    """All records of a grid run, in deterministic cell order."""
+
+    spec: GridSpec
+    records: list[dict]
+    executed: int
+    reused: int
+
+    @property
+    def ok(self) -> bool:
+        return all(r["ok"] for r in self.records)
+
+    @property
+    def failures(self) -> list[dict]:
+        return [r for r in self.records if not r["ok"]]
+
+
+def run_grid(
+    spec: GridSpec,
+    store: "GridStore | str | Path | None" = None,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[GridCell, dict], None]] = None,
+) -> GridRunResult:
+    """Run every missing cell of ``spec``; reuse completed ones.
+
+    Without a ``store`` the grid runs ephemerally in memory.  With one,
+    each finished cell is persisted immediately (atomic rename), so a
+    killed run loses at most the cells in flight; re-running the same
+    spec completes only the gap.  ``workers > 1`` evaluates pending
+    cells in a process pool; record order is the deterministic
+    :meth:`~repro.experiments.gridspec.GridSpec.cells` order either way.
+
+    ``progress`` receives ``(cell, record)`` for each *newly executed*
+    cell as it completes (completion order, not cell order).
+    """
+    if store is not None and not isinstance(store, GridStore):
+        store = GridStore(store)
+    if store is not None:
+        store.prepare(spec)
+
+    cells = spec.cells()
+    done = store.done_ids() if store is not None else set()
+    pending = [c for c in cells if c.cell_id not in done]
+
+    by_id: dict[str, dict] = {}
+    if store is not None:
+        for cell in cells:
+            if cell.cell_id in done:
+                by_id[cell.cell_id] = store.load(cell.cell_id)
+
+    def finish(cell: GridCell, record: dict) -> None:
+        by_id[cell.cell_id] = record
+        if store is not None:
+            store.save(cell.cell_id, record)
+        if progress is not None:
+            progress(cell, record)
+
+    if workers is not None and workers > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_cell_job, spec, c): c for c in pending}
+            for fut in as_completed(futures):
+                finish(futures[fut], fut.result())
+    else:
+        for cell in pending:
+            finish(cell, run_grid_cell(spec, cell))
+
+    records = [by_id[c.cell_id] for c in cells]
+    return GridRunResult(spec=spec, records=records,
+                         executed=len(pending), reused=len(cells) - len(pending))

@@ -116,6 +116,90 @@ class TestNewCommands:
         assert "F6" in capsys.readouterr().out
 
 
+class TestGridCli:
+    TOML = """\
+name = "clitiny"
+engines = ["lic-fast", "lid-fast"]
+families = ["er"]
+sizes = [12]
+quotas = [2]
+seeds = [0]
+density = 0.4
+"""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "spec.toml"
+        path.write_text(self.TOML)
+        return path
+
+    def test_parser_requires_grid_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid"])
+
+    def test_run_requires_a_spec_selection(self):
+        with pytest.raises(SystemExit, match="select a sweep"):
+            main(["grid", "run"])
+
+    def test_run_status_report_roundtrip(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store"
+
+        assert main(["grid", "status", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        assert "0/2 cells complete" in capsys.readouterr().out
+
+        assert main(["grid", "run", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "clitiny" in out and "ok" in out and "FAIL" not in out
+
+        assert main(["grid", "status", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        assert "2/2 cells complete" in capsys.readouterr().out
+
+        out_dir = tmp_path / "results"
+        assert main(["grid", "report", "--spec", str(spec_file),
+                     "--store", str(store), "--out", str(out_dir)]) == 0
+        report_out = capsys.readouterr().out
+        assert "report:" in report_out and "summary:" in report_out
+        assert (store / "report.md").exists()
+        assert (out_dir / "grid_clitiny_summary.csv").exists()
+
+    def test_rerun_reuses_completed_cells(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["grid", "run", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["grid", "run", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        assert "0 executed, 2 reused" in capsys.readouterr().out
+
+    def test_report_on_incomplete_store_fails_without_partial(
+            self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["grid", "run", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        next(iter((store / "cells").glob("*.json"))).unlink()
+        capsys.readouterr()
+        assert main(["grid", "report", "--spec", str(spec_file),
+                     "--store", str(store)]) == 1
+        assert "incomplete" in capsys.readouterr().out
+        assert main(["grid", "report", "--spec", str(spec_file),
+                     "--store", str(store), "--partial"]) == 0
+
+    def test_stale_store_exits_nonzero(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["grid", "run", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        edited = tmp_path / "edited.toml"
+        edited.write_text(self.TOML.replace("sizes = [12]", "sizes = [13]"))
+        capsys.readouterr()
+        assert main(["grid", "run", "--spec", str(edited),
+                     "--store", str(store)]) == 1
+        assert "refusing to reuse" in capsys.readouterr().out
+
+
 class TestRegistry:
     def test_list_command(self, capsys):
         from repro.experiments.cli import main

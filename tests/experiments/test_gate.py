@@ -1,0 +1,119 @@
+"""Tests for the benchmark CSV gate extracted from ci.yml."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _load_gate():
+    # benchmarks/ is intentionally not a package; load the module by path
+    spec = importlib.util.spec_from_file_location(
+        "bench_gate", REPO / "benchmarks" / "gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = _load_gate()
+
+ROWS = [
+    {"n": "20000", "speedup": "18.4", "note": "x"},
+    {"n": "50000", "speedup": "22.1", "note": "y"},
+    {"n": "100000", "speedup": "nan-ish", "note": "z"},
+]
+
+
+class TestParseCondition:
+    def test_parses(self):
+        assert gate.parse_condition("n=20000") == ("n", "20000")
+        assert gate.parse_condition(" n = 20000 ") == ("n", "20000")
+
+    @pytest.mark.parametrize("bad", ["n", "=5", ""])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            gate.parse_condition(bad)
+
+
+class TestCheckGate:
+    def test_passes_and_reports(self):
+        msgs = gate.check_gate(ROWS, "speedup", 10.0, [("n", "20000")])
+        assert msgs == ["gate ok: speedup=18.4 >= 10 at n=20000"]
+
+    def test_regression_fails(self):
+        with pytest.raises(gate.GateError, match="regressed"):
+            gate.check_gate(ROWS, "speedup", 19.0, [("n", "20000")])
+
+    def test_missing_gate_row_fails(self):
+        with pytest.raises(gate.GateError, match="gate row was dropped"):
+            gate.check_gate(ROWS, "speedup", 10.0, [("n", "999")])
+
+    def test_non_numeric_column_fails(self):
+        with pytest.raises(gate.GateError, match="no numeric"):
+            gate.check_gate(ROWS, "speedup", 10.0, [("n", "100000")])
+        with pytest.raises(gate.GateError, match="no numeric"):
+            gate.check_gate(ROWS, "absent", 10.0, [("n", "20000")])
+
+    def test_unfiltered_gate_applies_to_every_row(self):
+        ok = [r for r in ROWS if r["n"] != "100000"]
+        msgs = gate.check_gate(ok, "speedup", 10.0)
+        assert len(msgs) == 2
+
+    def test_require_row(self):
+        msgs = gate.check_gate(
+            ROWS, "speedup", 10.0, [("n", "20000")],
+            require_rows=[[("n", "100000")]],
+        )
+        assert "row present: n=100000" in msgs
+        with pytest.raises(gate.GateError, match="required row .* missing"):
+            gate.check_gate(ROWS, "speedup", 10.0, [("n", "20000")],
+                            require_rows=[[("n", "31337")]])
+
+
+class TestMain:
+    def _csv(self, tmp_path, rows=ROWS):
+        path = tmp_path / "bench.csv"
+        cols = list(rows[0])
+        lines = [",".join(cols)]
+        lines += [",".join(r[c] for c in cols) for r in rows]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        path = self._csv(tmp_path)
+        rc = gate.main([str(path), "--column", "speedup", "--min", "10",
+                        "--where", "n=20000", "--require-row", "n=100000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gate ok" in out and "row present" in out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        path = self._csv(tmp_path)
+        rc = gate.main([str(path), "--column", "speedup", "--min", "100",
+                        "--where", "n=20000"])
+        assert rc == 1
+        assert "GATE FAILED" in capsys.readouterr().err
+
+    def test_exit_one_on_missing_file(self, tmp_path, capsys):
+        rc = gate.main([str(tmp_path / "absent.csv"),
+                        "--column", "speedup", "--min", "10"])
+        assert rc == 1
+        assert "GATE FAILED" in capsys.readouterr().err
+
+    def test_exit_one_on_bad_condition(self, tmp_path, capsys):
+        path = self._csv(tmp_path)
+        rc = gate.main([str(path), "--column", "speedup", "--min", "10",
+                        "--where", "bogus"])
+        assert rc == 1
+
+    def test_ci_invocation_against_archived_csv(self, capsys):
+        """The exact arguments the bench-smoke job runs must pass."""
+        csv_path = REPO / "benchmarks" / "results" / "p4_fast_lid.csv"
+        if not csv_path.exists():
+            pytest.skip("archived p4 CSV not present")
+        rc = gate.main([str(csv_path), "--column", "speedup", "--min", "10",
+                        "--where", "n=20000", "--require-row", "n=100000"])
+        assert rc == 0, capsys.readouterr().err
