@@ -86,14 +86,29 @@ def test_f2_scalability_series(report, benchmark, bench_backend):
     assert all(r["rounds"] < r["n"] / 4 for r in rows)
 
     # cross-check subsample: whichever backend ran the sweep, both
-    # engines must agree on the smallest instance — matching AND
-    # message statistics (the fast engine replays the simulator)
+    # engines must agree on the smallest instance — matching, message
+    # statistics AND the whole convergence trajectory (the fast engine
+    # replays the simulator tick for tick)
+    from repro.telemetry.probes import ConvergenceProbe, convergence_summary
+
     ps = random_preference_instance(SIZES[0], 10.0 / SIZES[0], 3, seed=1)
-    ref = run_lid(satisfaction_weights(ps), ps.quotas)
-    fast = lid_matching_fast(FastInstance.from_preference_system(ps))
+    ref_probe, fast_probe = ConvergenceProbe(), ConvergenceProbe()
+    ref = run_lid(satisfaction_weights(ps), ps.quotas, probe=ref_probe)
+    fast = lid_matching_fast(FastInstance.from_preference_system(ps),
+                             probe=fast_probe)
     assert fast.matching.edge_set() == ref.matching.edge_set()
     assert fast.metrics.total_sent == ref.metrics.total_sent
     assert fast.rounds == ref.rounds
+    assert fast_probe.samples == ref_probe.samples
+    conv = convergence_summary(ref_probe.samples)
+    report(
+        [conv],
+        ["ticks", "t_final", "t50", "t90", "t99", "locks",
+         "outstanding_peak", "quota_fill"],
+        title=f"F2  convergence landmarks at n={SIZES[0]}"
+              " (identical between both engines)",
+        csv_name="f2_convergence.csv",
+    )
 
     ps = random_preference_instance(400, 10.0 / 400, 3, seed=1)
     wt = satisfaction_weights(ps)

@@ -40,6 +40,7 @@ from repro.experiments import random_preference_instance
 SPEEDUP_GATE_N = 20000
 SPEEDUP_GATE = 10.0
 SCALE_N = 100000
+TELEMETRY_RATIO_GATE = 0.98  # disabled telemetry must cost < 2%
 
 
 def _best_of(fn, k=3):
@@ -139,6 +140,55 @@ def test_p4_fast_lid_speedup(report, benchmark, bench_seed):
     ps = _instance(SPEEDUP_GATE_N, bench_seed)
     fi = FastInstance.from_preference_system(ps)
     benchmark(lambda: lid_matching_fast(fi))
+
+
+def test_p4_telemetry_overhead(report, benchmark, bench_seed):
+    """Disabled telemetry is free: NULL-instrumented run within 2%.
+
+    The engines accept ``telemetry=NULL`` to switch phase timing off
+    entirely (the default instruments three spans per run).  The gate
+    asserts the fully-disabled path keeps at least
+    ``TELEMETRY_RATIO_GATE`` of the default path's throughput —
+    interleaved pairs, best per-pair ratio, like the speedup gate.
+    """
+    from repro.telemetry.spans import NULL
+
+    ps = _instance(SPEEDUP_GATE_N, bench_seed)
+    fi = FastInstance.from_preference_system(ps)
+    t_default = t_disabled = float("inf")
+    ratio = 0.0
+    for _ in range(5):
+        res_d, d = _best_of(lambda: lid_matching_fast(fi), k=1)
+        res_n, nl = _best_of(lambda: lid_matching_fast(fi, telemetry=NULL), k=1)
+        t_default = min(t_default, d)
+        t_disabled = min(t_disabled, nl)
+        ratio = max(ratio, d / max(nl, 1e-9))
+    # instrumentation must not perturb the run
+    assert res_n.matching.edge_set() == res_d.matching.edge_set()
+    assert res_d.metrics.phase_seconds  # default path attributes phases
+    assert not res_n.metrics.phase_seconds  # NULL path records nothing
+    rows = [
+        {
+            "n": ps.n,
+            "m": ps.m,
+            "default_ms": 1e3 * t_default,
+            "disabled_ms": 1e3 * t_disabled,
+            "throughput_ratio": ratio,
+        }
+    ]
+    report(
+        rows,
+        ["n", "m", "default_ms", "disabled_ms", "throughput_ratio"],
+        title="P4  telemetry overhead on the fast LID engine"
+              " (throughput_ratio = default / telemetry-disabled, best pair)",
+        csv_name="p4_telemetry.csv",
+    )
+    assert ratio >= TELEMETRY_RATIO_GATE, (
+        f"disabled-telemetry run regressed: ratio {ratio:.3f}"
+        f" < {TELEMETRY_RATIO_GATE} at n={SPEEDUP_GATE_N}"
+    )
+
+    benchmark(lambda: lid_matching_fast(fi, telemetry=NULL))
 
 
 def _simulate_with_queue(wt, quotas, queue):

@@ -54,5 +54,17 @@ def test_t2_satisfaction_ratio_table(report, benchmark):
     for r in agg:
         assert r["ratio"] >= r["bound"] - 1e-9
 
+    # one instrumented solve: the pipeline attributes its wall time to
+    # the three canonical phases and exposes the convergence trajectory
+    from repro.telemetry.probes import ConvergenceProbe
+    from repro.telemetry.spans import Telemetry
+
     ps = random_preference_instance(60, 0.2, 3, seed=5)
+    tel, probe = Telemetry(), ConvergenceProbe()
+    res, _ = solve_lid(ps, telemetry=tel, probe=probe)
+    assert set(res.metrics.phase_seconds) == {
+        "build_weights", "sim_loop", "extract",
+    }
+    assert probe.final().quota_fill > 0
+
     benchmark(lambda: solve_lid(ps))

@@ -61,7 +61,12 @@ class Backend:
         raise NotImplementedError
 
     def lid(
-        self, wt: WeightTable, quotas: Sequence[int], seed: int = 0
+        self,
+        wt: WeightTable,
+        quotas: Sequence[int],
+        seed: int = 0,
+        telemetry=None,
+        probe=None,
     ) -> "LidResult | FastLidResult":
         """Algorithm 1 (default channels) on an explicit weight table.
 
@@ -69,7 +74,9 @@ class Backend:
         schedule: ``reference`` event by event through the simulator,
         ``fast`` via the round-batched engine — identical matching and
         message statistics (``seed`` only varies channel randomness,
-        which the default channels do not have).
+        which the default channels do not have).  ``telemetry`` /
+        ``probe`` (see :mod:`repro.telemetry`) are honoured by both
+        paths, and a probed trajectory is bit-identical between them.
         """
         raise NotImplementedError
 
@@ -99,9 +106,14 @@ class ReferenceBackend(Backend):
         return lic_matching(wt, quotas)
 
     def lid(
-        self, wt: WeightTable, quotas: Sequence[int], seed: int = 0
+        self,
+        wt: WeightTable,
+        quotas: Sequence[int],
+        seed: int = 0,
+        telemetry=None,
+        probe=None,
     ) -> LidResult:
-        return run_lid(wt, quotas, seed=seed)
+        return run_lid(wt, quotas, seed=seed, telemetry=telemetry, probe=probe)
 
     def solve(self, ps: PreferenceSystem) -> Matching:
         return lic_matching(satisfaction_weights(ps), ps.quotas)
@@ -124,9 +136,14 @@ class FastBackend(Backend):
         return lic_matching_fast(wt, quotas)
 
     def lid(
-        self, wt: WeightTable, quotas: Sequence[int], seed: int = 0
+        self,
+        wt: WeightTable,
+        quotas: Sequence[int],
+        seed: int = 0,
+        telemetry=None,
+        probe=None,
     ) -> FastLidResult:
-        return lid_matching_fast(wt, quotas)
+        return lid_matching_fast(wt, quotas, telemetry=telemetry, probe=probe)
 
     def solve(self, ps: PreferenceSystem) -> Matching:
         return lic_matching_fast(FastInstance.from_preference_system(ps))

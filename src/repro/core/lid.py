@@ -45,7 +45,6 @@ Implementation notes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.core.matching import Matching
@@ -56,6 +55,7 @@ from repro.distsim.network import LatencyModel, Network
 from repro.distsim.node import ProtocolNode
 from repro.distsim.scheduler import Simulator
 from repro.distsim.tracing import Trace
+from repro.telemetry.spans import Telemetry
 from repro.utils.validation import ProtocolError
 
 __all__ = ["LidNode", "LidResult", "run_lid", "solve_lid"]
@@ -361,6 +361,8 @@ def run_lid(
     backoff: str = "exponential",
     enforce_links: bool = True,
     max_events: Optional[int] = None,
+    telemetry=None,
+    probe=None,
 ) -> LidResult:
     """Execute LID over a weight table on the discrete-event simulator.
 
@@ -375,6 +377,15 @@ def run_lid(
     (``backoff="none"`` restores the legacy fixed timer); see
     :class:`LidNode`.
 
+    ``telemetry`` is a :class:`repro.telemetry.Telemetry` (or
+    :data:`~repro.telemetry.NULL` to disable timing entirely); when
+    omitted a private instance still populates
+    ``metrics.phase_seconds`` with the ``build_weights`` / ``sim_loop``
+    / ``extract`` phases.  ``probe`` is an optional
+    :class:`~repro.telemetry.probes.ConvergenceProbe`; see
+    :meth:`Simulator.run` for the tick convention (sampling never
+    perturbs the run).
+
     Returns
     -------
     LidResult
@@ -386,43 +397,43 @@ def run_lid(
     if len(quotas) != n:
         raise ValueError(f"quotas length {len(quotas)} != n={n}")
     polite = retransmit_timeout is not None
-    t0 = perf_counter()
-    nodes = [
-        LidNode(
-            wt.weight_list(i),
-            quotas[i],
-            polite=polite,
-            retransmit_timeout=retransmit_timeout,
-            backoff=backoff,
-            retransmit_rng=(
-                spawn_rng(seed, "lid-retransmit", str(i))
-                if retransmit_timeout is not None and backoff != "none"
-                else None
-            ),
+    tel = telemetry if telemetry is not None else Telemetry()
+    mark = tel.mark()
+    with tel.span("build_weights"):
+        nodes = [
+            LidNode(
+                wt.weight_list(i),
+                quotas[i],
+                polite=polite,
+                retransmit_timeout=retransmit_timeout,
+                backoff=backoff,
+                retransmit_rng=(
+                    spawn_rng(seed, "lid-retransmit", str(i))
+                    if retransmit_timeout is not None and backoff != "none"
+                    else None
+                ),
+            )
+            for i in range(n)
+        ]
+        network = Network(
+            n,
+            latency=latency,
+            fifo=fifo,
+            links=wt.edges() if enforce_links else None,
+            drop_filter=drop_filter,
+            seed=seed,
         )
-        for i in range(n)
-    ]
-    network = Network(
-        n,
-        latency=latency,
-        fifo=fifo,
-        links=wt.edges() if enforce_links else None,
-        drop_filter=drop_filter,
-        seed=seed,
-    )
-    sim = Simulator(network, nodes, trace=trace)
-    t1 = perf_counter()
-    metrics = sim.run(max_events=max_events)
-    t2 = perf_counter()
-    for i, node in enumerate(nodes):
-        if not node.finished:
-            raise ProtocolError(f"node {i} did not finish (Lemma 5 violated?)")
-    matching = _extract_matching(nodes)
-    metrics.phase_seconds = {
-        "build_weights": t1 - t0,
-        "sim_loop": t2 - t1,
-        "extract": perf_counter() - t2,
-    }
+        sim = Simulator(network, nodes, trace=trace)
+    with tel.span("sim_loop"):
+        metrics = sim.run(max_events=max_events, probe=probe)
+    with tel.span("extract"):
+        for i, node in enumerate(nodes):
+            if not node.finished:
+                raise ProtocolError(
+                    f"node {i} did not finish (Lemma 5 violated?)"
+                )
+        matching = _extract_matching(nodes)
+    metrics.phase_seconds = tel.phase_seconds(since=mark)
     return LidResult(
         matching=matching,
         metrics=metrics,
@@ -440,6 +451,8 @@ def solve_lid(
     backend: str = "reference",
     drop_filter=None,
     retransmit_timeout: Optional[float] = None,
+    telemetry=None,
+    probe=None,
 ) -> tuple[LidResult, WeightTable]:
     """End-to-end LID pipeline for a preference system.
 
@@ -486,7 +499,7 @@ def solve_lid(
         from repro.core.fast_lid import lid_matching_fast
 
         fi = FastInstance.from_preference_system(ps)
-        result = lid_matching_fast(fi)
+        result = lid_matching_fast(fi, telemetry=telemetry, probe=probe)
         result.matching.validate(ps)
         return result, fi.weight_table()
     wt = satisfaction_weights(ps)
@@ -499,6 +512,8 @@ def solve_lid(
         trace=trace,
         drop_filter=drop_filter,
         retransmit_timeout=retransmit_timeout,
+        telemetry=telemetry,
+        probe=probe,
     )
     result.matching.validate(ps)
     return result, wt

@@ -46,7 +46,6 @@ fault campaign):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.core.lid import PROP, REJ
@@ -63,6 +62,7 @@ from repro.distsim.network import LatencyModel, Network
 from repro.distsim.reliable import BackoffPolicy, ReliableNode
 from repro.distsim.scheduler import Simulator
 from repro.distsim.tracing import Trace
+from repro.telemetry.spans import Telemetry
 from repro.core.weights import WeightTable
 from repro.utils.rng import spawn_rng
 
@@ -425,6 +425,8 @@ def run_resilient_lid(
     queue: str = "auto",
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
+    telemetry=None,
+    probe=None,
 ) -> ResilientLidResult:
     """Execute resilient LID under an arbitrary fault configuration.
 
@@ -442,6 +444,14 @@ def run_resilient_lid(
     ``monitor`` (``True``, ``False`` or a pre-built
     :class:`InvariantMonitor`; ``strict`` makes the first violation
     raise at the offending delivery).
+
+    ``telemetry`` / ``probe`` behave exactly as in
+    :func:`repro.core.lid.run_lid`: phases are attributed to
+    ``build_weights`` / ``sim_loop`` / ``extract`` (same buckets as the
+    other engines), and the convergence probe samples node state at
+    virtual-time ticks without perturbing the run.  Under faults the
+    probe trajectory shows degradation and repair — e.g.
+    ``outstanding_props`` spiking across a partition.
     """
     n = wt.n
     if len(quotas) != n:
@@ -458,70 +468,74 @@ def run_resilient_lid(
             "finite budget"
         )
 
-    t0 = perf_counter()
-    nodes = [
-        ResilientLidNode(
-            wt.weight_list(i),
-            quotas[i],
-            backoff=policy,
-            heartbeat_interval=heartbeat_interval,
-            suspect_after=suspect_after,
-            rng=spawn_rng(seed, "resilient-jitter", str(i)),
+    tel = telemetry if telemetry is not None else Telemetry()
+    mark = tel.mark()
+    with tel.span("build_weights"):
+        nodes = [
+            ResilientLidNode(
+                wt.weight_list(i),
+                quotas[i],
+                backoff=policy,
+                heartbeat_interval=heartbeat_interval,
+                suspect_after=suspect_after,
+                rng=spawn_rng(seed, "resilient-jitter", str(i)),
+            )
+            for i in range(n)
+        ]
+        for b, mode in byzantine.items():
+            make_byzantine_resilient(nodes[b], mode)
+        honest = frozenset(range(n)) - frozenset(byzantine)
+
+        flaps = list(flaps)
+        drop = compose_drops(drop_filter, partitions, *flaps)
+        network = Network(
+            n,
+            latency=latency,
+            fifo=fifo,
+            links=wt.edges(),
+            drop_filter=drop,
+            seed=seed,
         )
-        for i in range(n)
-    ]
-    for b, mode in byzantine.items():
-        make_byzantine_resilient(nodes[b], mode)
-    honest = frozenset(range(n)) - frozenset(byzantine)
+        if monitor is True:
+            mon: Optional[InvariantMonitor] = InvariantMonitor(
+                quotas,
+                [set(wt.neighbors(i)) for i in range(n)],
+                honest=honest,
+                strict=strict,
+            )
+        elif monitor is False:
+            mon = None
+        else:
+            mon = monitor
+        sim = Simulator(network, nodes, trace=trace, queue=queue, monitor=mon)
+        if crashes is not None:
+            crashes.install(sim)
+        if partitions is not None:
+            partitions.install(sim)
+        for flap in flaps:
+            flap.install(sim)
 
-    flaps = list(flaps)
-    drop = compose_drops(drop_filter, partitions, *flaps)
-    network = Network(
-        n,
-        latency=latency,
-        fifo=fifo,
-        links=wt.edges(),
-        drop_filter=drop,
-        seed=seed,
-    )
-    if monitor is True:
-        mon: Optional[InvariantMonitor] = InvariantMonitor(
-            quotas,
-            [set(wt.neighbors(i)) for i in range(n)],
-            honest=honest,
-            strict=strict,
+    with tel.span("sim_loop"):
+        metrics = sim.run(max_events=max_events, max_time=max_time, probe=probe)
+
+    with tel.span("extract"):
+        live = frozenset(i for i in range(n) if not nodes[i].crashed)
+        live_honest = live & honest
+        terminated = all(nodes[i].finished for i in live_honest)
+        if mon is not None:
+            mon.at_quiescence(sim)
+            violations = list(mon.violations)
+        else:
+            violations = []
+
+        matching, asymmetric = _extract_mutual(nodes, live_honest)
+        suspected_edges = frozenset(
+            (i, j) if i < j else (j, i)
+            for i in range(n)
+            for j in nodes[i].withdrawn
+            if i in honest
         )
-    elif monitor is False:
-        mon = None
-    else:
-        mon = monitor
-    sim = Simulator(network, nodes, trace=trace, queue=queue, monitor=mon)
-    if crashes is not None:
-        crashes.install(sim)
-    if partitions is not None:
-        partitions.install(sim)
-    for flap in flaps:
-        flap.install(sim)
-
-    metrics = sim.run(max_events=max_events, max_time=max_time)
-
-    live = frozenset(i for i in range(n) if not nodes[i].crashed)
-    live_honest = live & honest
-    terminated = all(nodes[i].finished for i in live_honest)
-    if mon is not None:
-        mon.at_quiescence(sim)
-        violations = list(mon.violations)
-    else:
-        violations = []
-
-    matching, asymmetric = _extract_mutual(nodes, live_honest)
-    suspected_edges = frozenset(
-        (i, j) if i < j else (j, i)
-        for i in range(n)
-        for j in nodes[i].withdrawn
-        if i in honest
-    )
-    metrics.phase_seconds = {"total": perf_counter() - t0}
+    metrics.phase_seconds = tel.phase_seconds(since=mark)
     return ResilientLidResult(
         matching=matching,
         metrics=metrics,

@@ -78,3 +78,67 @@ class SimMetrics:
             "end_time": self.end_time,
             **{f"sent_{k}": v for k, v in sorted(self.sent_by_kind.items())},
         }
+
+    def kind_counters(self) -> dict:
+        """Per-kind sent/delivered totals as flat scalar fields.
+
+        Key layout ``sent_<KIND>`` / ``delivered_<KIND>``, sorted by
+        kind — the form grid cell records persist so message-complexity
+        breakdowns (PROP vs REJ vs ACK/HB traffic) survive aggregation
+        instead of being collapsed into one total.
+        """
+        out: dict = {}
+        for kind, count in sorted(self.sent_by_kind.items()):
+            out[f"sent_{kind}"] = count
+        for kind, count in sorted(self.delivered_by_kind.items()):
+            out[f"delivered_{kind}"] = count
+        return out
+
+    def to_dict(self, per_node: bool = True) -> dict:
+        """Full JSON-serialisable form; inverse of :meth:`from_dict`.
+
+        Counter keys become JSON-safe (node ids as strings); wall-clock
+        attribution travels under ``phase_seconds`` unchanged.  With
+        ``per_node=False`` the two per-node counters are omitted —
+        the compact form for large-``n`` records.
+        """
+        out = {
+            "sent_by_kind": dict(sorted(self.sent_by_kind.items())),
+            "delivered_by_kind": dict(sorted(self.delivered_by_kind.items())),
+            "events": self.events,
+            "end_time": self.end_time,
+            "dropped": self.dropped,
+            "retransmissions": self.retransmissions,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "max_depth": self.max_depth,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+        if per_node:
+            out["sent_by_node"] = {
+                str(v): c for v, c in sorted(self.sent_by_node.items())
+            }
+            out["received_by_node"] = {
+                str(v): c for v, c in sorted(self.received_by_node.items())
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimMetrics":
+        """Rebuild from :meth:`to_dict` output (node-id keys re-intified)."""
+        return cls(
+            sent_by_kind=Counter(data.get("sent_by_kind", {})),
+            delivered_by_kind=Counter(data.get("delivered_by_kind", {})),
+            sent_by_node=Counter(
+                {int(v): c for v, c in data.get("sent_by_node", {}).items()}
+            ),
+            received_by_node=Counter(
+                {int(v): c for v, c in data.get("received_by_node", {}).items()}
+            ),
+            events=int(data.get("events", 0)),
+            end_time=float(data.get("end_time", 0.0)),
+            dropped=int(data.get("dropped", 0)),
+            retransmissions=int(data.get("retransmissions", 0)),
+            duplicates_suppressed=int(data.get("duplicates_suppressed", 0)),
+            max_depth=int(data.get("max_depth", 0)),
+            phase_seconds=dict(data.get("phase_seconds", {})),
+        )

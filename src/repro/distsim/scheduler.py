@@ -311,6 +311,7 @@ class Simulator:
         self,
         max_events: Optional[int] = None,
         max_time: Optional[float] = None,
+        probe=None,
     ) -> SimMetrics:
         """Start (if needed) and process events until quiescence.
 
@@ -329,15 +330,35 @@ class Simulator:
             livelocked protocol.
         max_time:
             Stop (without error) once virtual time exceeds this horizon.
+        probe:
+            Optional :class:`~repro.telemetry.probes.ConvergenceProbe`.
+            The probe observes the node state at every tick ``t`` (a
+            multiple of ``probe.interval``) *after* all events at times
+            ``< t`` and *before* any event at time ``>= t``, plus one
+            final tick after quiescence.  Sampling is done by peeking
+            the queue — no control events are scheduled, so enabling a
+            probe changes neither ``metrics.events`` nor any other
+            observable of the run.
         """
         self.start()
         if max_events is None:
             max_events = 1000 + 500 * len(self.nodes) + 50 * self.network.sent
         processed = 0
+        probe_tick = 0.0
         while True:
-            if max_time is not None:
+            if probe is not None or max_time is not None:
                 t = self._peek_time()
-                if t is None or t > max_time:
+                if probe is not None:
+                    # Catch the tick counter up to the next event time;
+                    # on an empty queue take exactly one final sample.
+                    while t is None or t >= probe_tick:
+                        if max_time is not None and probe_tick > max_time:
+                            break
+                        probe.observe(probe_tick, self.nodes)
+                        probe_tick += probe.interval
+                        if t is None:
+                            break
+                if max_time is not None and (t is None or t > max_time):
                     break
             status = self._step()
             if status == 0:

@@ -36,7 +36,6 @@ from typing import Iterable, Optional, Sequence
 
 from repro.core.analysis import weighted_blocking_edges
 from repro.core.lic import lic_matching
-from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
 from repro.core.resilient_lid import ResilientLidResult, run_resilient_lid
 from repro.core.satisfaction import satisfaction_vector
@@ -293,8 +292,19 @@ def run_cell(
     partitioned: bool,
     byz_frac: float,
     seed: int,
+    *,
+    telemetry=None,
+    probe=None,
+    metrics_out: Optional[dict] = None,
 ) -> CampaignCell:
-    """Run and judge a single cell of the fault matrix."""
+    """Run and judge a single cell of the fault matrix.
+
+    ``telemetry`` / ``probe`` are forwarded to
+    :func:`run_resilient_lid`.  When ``metrics_out`` is a dict it is
+    filled with the run's :meth:`SimMetrics.to_dict` form (without the
+    per-node counters) — the channel the grid runner uses to persist
+    per-kind message counters without widening :class:`CampaignCell`.
+    """
     ps = random_preference_instance(config.n, config.density, config.quota,
                                     seed=seed)
     wt = satisfaction_weights(ps)
@@ -314,7 +324,11 @@ def run_cell(
         backoff=config.backoff,
         heartbeat_interval=config.heartbeat_interval,
         suspect_after=config.suspect_after,
+        telemetry=telemetry,
+        probe=probe,
     )
+    if metrics_out is not None:
+        metrics_out.update(result.metrics.to_dict(per_node=False))
 
     try:
         result.matching.validate(ps)

@@ -265,10 +265,13 @@ def _cmd_grid(args) -> int:
             print(f"[{done[0]}/{total}] {cell.cell_id}: {status}")
 
         result = run_grid(spec, store=store, workers=args.workers,
-                          progress=progress)
+                          progress=progress, telemetry=args.telemetry)
         _print_grid_summary(spec, result.records)
         print(f"store: {store.root}  ({result.executed} executed,"
               f" {result.reused} reused)")
+        if args.telemetry:
+            print(f"telemetry: {store.telemetry_dir}"
+                  f"  ({len(store.telemetry_ids())} cell sessions)")
         if not result.ok:
             for rec in result.failures:
                 print(f"FAILED cell {rec['engine']}/{rec['family']}"
@@ -280,6 +283,29 @@ def _cmd_grid(args) -> int:
     except (StaleStoreError, GridIncompleteError) as exc:
         print(f"grid: {exc}")
         return 1
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry.report import load_store_telemetry, write_telemetry_report
+
+    spec = _grid_spec_of(args)
+    store = _grid_store_of(args, spec)
+    if args.telemetry_command == "report":
+        cells = load_store_telemetry(store.root)
+        if not cells:
+            print(f"telemetry: no sessions under {store.telemetry_dir}"
+                  " (run `grid run --telemetry` first)")
+            return 1
+        paths = write_telemetry_report(store.root, out_dir=args.out,
+                                       title=spec.name, full=args.full)
+        print(f"telemetry: {len(cells)} cell sessions")
+        for kind in ("report", "summary"):
+            print(f"{kind}: {paths[kind]}")
+        if args.out is not None:
+            for kind in ("out_report", "out_summary"):
+                print(f"{kind}: {paths[kind]}")
+        return 0
+    raise AssertionError(args.telemetry_command)
 
 
 def _cmd_campaign(args) -> int:
@@ -501,6 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
         if with_run_flags:
             gp.add_argument("--workers", type=int, default=None,
                             help="process-pool width for cell execution")
+            gp.add_argument("--telemetry", action="store_true",
+                            help="instrument executed cells (spans, convergence"
+                                 " probes, resource profile) and persist one"
+                                 " telemetry/<cell_id>.jsonl per cell")
         gp.set_defaults(fn=_cmd_grid)
 
     _grid_common(gsub.add_parser(
@@ -517,6 +547,33 @@ def build_parser() -> argparse.ArgumentParser:
                          " benchmarks/results)")
     gp.add_argument("--partial", action="store_true",
                     help="report over an incomplete store")
+
+    p = sub.add_parser(
+        "telemetry",
+        help="render a grid store's telemetry sessions (spans, probes,"
+             " resource profiles) into markdown/CSV",
+    )
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    tp = tsub.add_parser(
+        "report",
+        help="telemetry_report.md / telemetry_summary.csv from a store's"
+             " telemetry/*.jsonl (deterministic fields only)")
+    tp.add_argument("--profile", choices=sorted(PROFILES), default=None,
+                    help="a built-in sweep profile")
+    tp.add_argument("--spec", default=None, metavar="FILE",
+                    help="a TOML grid-spec file (see docs/experiments.md)")
+    tp.add_argument("--smoke", action="store_true",
+                    help="shorthand for --profile smoke")
+    tp.add_argument("--store", default=None, metavar="DIR",
+                    help="result-store directory (default:"
+                         " .gridstore/<name>-<spec-hash>)")
+    tp.add_argument("--out", default=None, metavar="DIR",
+                    help="also copy the report/CSV into DIR under"
+                         " telemetry_<name>_… names")
+    tp.add_argument("--full", action="store_true",
+                    help="append the machine-dependent appendix (span"
+                         " timings, resource profiles) to the report")
+    tp.set_defaults(fn=_cmd_telemetry)
 
     p = sub.add_parser(
         "conformance",

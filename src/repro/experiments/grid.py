@@ -48,6 +48,10 @@ from repro.experiments.instances import (
     random_preference_instance,
     topology_for_family,
 )
+from repro.telemetry.probes import ConvergenceProbe
+from repro.telemetry.resources import ResourceSampler
+from repro.telemetry.sink import read_jsonl, session_records, write_jsonl
+from repro.telemetry.spans import NULL, Telemetry
 from repro.utils.rng import spawn_rng
 
 __all__ = [
@@ -137,6 +141,24 @@ class GridStore:
     def load(self, cell_id: str) -> dict:
         return json.loads((self.cells_dir / f"{cell_id}.json").read_text())
 
+    # -- per-cell telemetry (one JSONL per executed cell) --------------
+
+    @property
+    def telemetry_dir(self) -> Path:
+        return self.root / "telemetry"
+
+    def telemetry_ids(self) -> set[str]:
+        if not self.telemetry_dir.is_dir():
+            return set()
+        return {p.stem for p in self.telemetry_dir.glob("*.jsonl")}
+
+    def save_telemetry(self, cell_id: str, records: list[dict]) -> None:
+        """Persist a cell's telemetry session (atomic, canonical JSONL)."""
+        write_jsonl(self.telemetry_dir / f"{cell_id}.jsonl", records)
+
+    def load_telemetry(self, cell_id: str) -> list[dict]:
+        return read_jsonl(self.telemetry_dir / f"{cell_id}.jsonl")
+
 
 # ---------------------------------------------------------------------
 # per-cell engines
@@ -176,7 +198,7 @@ def _ratio_fields(ps) -> dict:
     return {k: (float(v) if isinstance(v, float) else v) for k, v in rec.items()}
 
 
-def _run_static(spec: GridSpec, cell: GridCell) -> dict:
+def _run_static(spec: GridSpec, cell: GridCell, tel=NULL, probe=None) -> dict:
     ps = _instance(spec, cell)
     backend = get_backend(engine_backend(cell.engine))
     record: dict = {"m": int(ps.m)}
@@ -184,19 +206,22 @@ def _run_static(spec: GridSpec, cell: GridCell) -> dict:
     if cell.engine in LID_ENGINES:
         wt = backend.build_weights(ps)
         t0 = time.perf_counter()
-        res = backend.lid(wt, list(ps.quotas))
+        res = backend.lid(wt, list(ps.quotas), telemetry=tel, probe=probe)
         record["lid_ms"] = 1e3 * (time.perf_counter() - t0)
         matching = res.matching
         record["messages"] = int(res.metrics.total_sent)
         record["rounds"] = int(res.rounds)
+        record["events"] = int(res.metrics.events)
         record["msgs_per_edge"] = float(res.metrics.total_sent / max(ps.m, 1))
+        record.update(res.metrics.kind_counters())
         if spec.verify:
             record["lid_equals_lic"] = (
                 matching.edge_set() == backend.lic(wt, list(ps.quotas)).edge_set()
             )
     else:
         t0 = time.perf_counter()
-        matching = backend.solve(ps)
+        with tel.span("solve"):
+            matching = backend.solve(ps)
         record["lic_ms"] = 1e3 * (time.perf_counter() - t0)
 
     record.update(_sat_stats(ps, matching))
@@ -215,32 +240,36 @@ def _run_static(spec: GridSpec, cell: GridCell) -> dict:
     return record
 
 
-def _run_churn(spec: GridSpec, cell: GridCell) -> dict:
+def _run_churn(spec: GridSpec, cell: GridCell, tel=NULL) -> dict:
     from repro.overlay import DynamicOverlay
     from repro.overlay.metrics import PrivateTasteMetric
     from repro.overlay.peer import Peer, generate_peers
 
-    rng = spawn_rng(cell.seed, "grid-churn", cell.family, str(cell.n), str(cell.b))
-    topo = topology_for_family(cell.family, cell.n, rng)
-    peers = generate_peers(cell.n, rng, quota_range=(cell.b, cell.b))
-    overlay = DynamicOverlay(topo, peers, PrivateTasteMetric(seed=cell.seed),
-                             backend=engine_backend(cell.engine))
+    with tel.span("build_overlay"):
+        rng = spawn_rng(cell.seed, "grid-churn", cell.family, str(cell.n),
+                        str(cell.b))
+        topo = topology_for_family(cell.family, cell.n, rng)
+        peers = generate_peers(cell.n, rng, quota_range=(cell.b, cell.b))
+        overlay = DynamicOverlay(topo, peers, PrivateTasteMetric(seed=cell.seed),
+                                 backend=engine_backend(cell.engine))
     changes = reused = recomputed = 0
     t0 = time.perf_counter()
-    for _ in range(cell.churn):
-        if rng.random() < 0.5 and overlay.n > max(10, cell.n // 3):
-            stats = overlay.leave(int(rng.choice(overlay.active_ids())))
-        else:
-            ids = overlay.active_ids()
-            k = min(int(rng.integers(2, 6)), len(ids))
-            neigh = [int(x) for x in rng.choice(ids, size=k, replace=False)]
-            _, stats = overlay.join(
-                Peer(peer_id=-1, position=rng.uniform(0, 1, 2), quota=cell.b),
-                neigh,
-            )
-        changes += stats.resolutions
-        reused += stats.weights_reused
-        recomputed += stats.weights_recomputed
+    with tel.span("churn_loop"):
+        for _ in range(cell.churn):
+            if rng.random() < 0.5 and overlay.n > max(10, cell.n // 3):
+                stats = overlay.leave(int(rng.choice(overlay.active_ids())))
+            else:
+                ids = overlay.active_ids()
+                k = min(int(rng.integers(2, 6)), len(ids))
+                neigh = [int(x) for x in rng.choice(ids, size=k, replace=False)]
+                _, stats = overlay.join(
+                    Peer(peer_id=-1, position=rng.uniform(0, 1, 2),
+                         quota=cell.b),
+                    neigh,
+                )
+            changes += stats.resolutions
+            reused += stats.weights_reused
+            recomputed += stats.weights_recomputed
     wall = time.perf_counter() - t0
     return {
         "alive": int(overlay.n),
@@ -253,7 +282,9 @@ def _run_churn(spec: GridSpec, cell: GridCell) -> dict:
     }
 
 
-def _run_resilient(spec: GridSpec, cell: GridCell) -> dict:
+def _run_resilient(spec: GridSpec, cell: GridCell, tel=NULL,
+                   probe=None) -> dict:
+    from repro.distsim.metrics import SimMetrics
     from repro.distsim.reliable import BackoffPolicy
     from repro.experiments.campaign import CampaignConfig
     from repro.experiments.campaign import run_cell as run_fault_cell
@@ -273,9 +304,12 @@ def _run_resilient(spec: GridSpec, cell: GridCell) -> dict:
         partition_start=spec.partition_start,
         backoff=BackoffPolicy(*spec.backoff) if spec.backoff else BackoffPolicy(),
     )
+    metrics_out: dict = {}
     t0 = time.perf_counter()
     cc = run_fault_cell(config, fault.loss, fault.crash, fault.partition,
-                        fault.byzantine, cell.seed)
+                        fault.byzantine, cell.seed,
+                        telemetry=tel if tel is not NULL else None,
+                        probe=probe, metrics_out=metrics_out)
     wall = time.perf_counter() - t0
     record = asdict(cc)
     # the coordinates already carry the fault model and seed
@@ -286,6 +320,11 @@ def _run_resilient(spec: GridSpec, cell: GridCell) -> dict:
     record["degradation"] = float(cc.degradation)
     record["resilient_ms"] = 1e3 * wall
     record["ok"] = bool(cc.ok)
+    sim_metrics = SimMetrics.from_dict(metrics_out)
+    record.update(sim_metrics.kind_counters())
+    record["dropped"] = sim_metrics.dropped
+    record["duplicates_suppressed"] = sim_metrics.duplicates_suppressed
+    record["max_depth"] = sim_metrics.max_depth
     return record
 
 
@@ -306,20 +345,44 @@ def _jsonable(value):
     return value
 
 
-def run_grid_cell(spec: GridSpec, cell: GridCell) -> dict:
-    """Run one cell and return its flat record (coordinates + metrics)."""
-    if cell.engine == "resilient":
-        metrics = _run_resilient(spec, cell)
-    elif cell.churn:
-        metrics = _run_churn(spec, cell)
-    else:
-        metrics = _run_static(spec, cell)
-    return _jsonable({**cell.coords(), **metrics})
+def run_grid_cell(spec: GridSpec, cell: GridCell,
+                  telemetry: bool = False) -> dict:
+    """Run one cell and return its flat record (coordinates + metrics).
+
+    With ``telemetry=True`` the cell runs instrumented — nested spans
+    (``cell`` wrapping the engine's ``build_weights`` / ``sim_loop`` /
+    ``extract``), a per-round convergence probe on protocol engines and
+    a resource profile — and the session's JSONL records travel back
+    under the transient ``"_telemetry"`` key (popped by the grid driver
+    before the record is persisted; the deterministic record fields
+    themselves are identical with telemetry on or off).
+    """
+    tel = Telemetry() if telemetry else NULL
+    probe = ConvergenceProbe() if telemetry else None
+    sampler = ResourceSampler().start() if telemetry else None
+    with tel.span("cell"):
+        if cell.engine == "resilient":
+            metrics = _run_resilient(spec, cell, tel=tel, probe=probe)
+        elif cell.churn:
+            metrics = _run_churn(spec, cell, tel=tel)
+        else:
+            metrics = _run_static(spec, cell, tel=tel, probe=probe)
+    record = _jsonable({**cell.coords(), **metrics})
+    if telemetry:
+        sampler.stop()
+        record["_telemetry"] = session_records(
+            {"cell": cell.cell_id, **record},
+            spans=tel.records(),
+            probes=probe.samples,
+            resources=sampler.profile(events=record.get("events"),
+                                      edges=record.get("m")),
+        )
+    return record
 
 
-def _cell_job(spec: GridSpec, cell: GridCell) -> dict:
+def _cell_job(spec: GridSpec, cell: GridCell, telemetry: bool = False) -> dict:
     """Module-level shim so cells survive pickling to worker processes."""
-    return run_grid_cell(spec, cell)
+    return run_grid_cell(spec, cell, telemetry=telemetry)
 
 
 # ---------------------------------------------------------------------
@@ -350,6 +413,7 @@ def run_grid(
     store: "GridStore | str | Path | None" = None,
     workers: Optional[int] = None,
     progress: Optional[Callable[[GridCell, dict], None]] = None,
+    telemetry: bool = False,
 ) -> GridRunResult:
     """Run every missing cell of ``spec``; reuse completed ones.
 
@@ -362,6 +426,13 @@ def run_grid(
 
     ``progress`` receives ``(cell, record)`` for each *newly executed*
     cell as it completes (completion order, not cell order).
+
+    ``telemetry=True`` instruments each executed cell (spans, probes,
+    resource profile) and persists one ``telemetry/<cell_id>.jsonl``
+    per cell next to its record.  Telemetry is a per-execution session:
+    cells reused from a previous run keep whatever telemetry (if any)
+    that run wrote.  The cell records themselves are unaffected — the
+    spec hash, and therefore store identity, does not depend on it.
     """
     if store is not None and not isinstance(store, GridStore):
         store = GridStore(store)
@@ -379,20 +450,24 @@ def run_grid(
                 by_id[cell.cell_id] = store.load(cell.cell_id)
 
     def finish(cell: GridCell, record: dict) -> None:
+        session = record.pop("_telemetry", None)
         by_id[cell.cell_id] = record
         if store is not None:
             store.save(cell.cell_id, record)
+            if session is not None:
+                store.save_telemetry(cell.cell_id, session)
         if progress is not None:
             progress(cell, record)
 
     if workers is not None and workers > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_cell_job, spec, c): c for c in pending}
+            futures = {pool.submit(_cell_job, spec, c, telemetry): c
+                       for c in pending}
             for fut in as_completed(futures):
                 finish(futures[fut], fut.result())
     else:
         for cell in pending:
-            finish(cell, run_grid_cell(spec, cell))
+            finish(cell, run_grid_cell(spec, cell, telemetry=telemetry))
 
     records = [by_id[c.cell_id] for c in cells]
     return GridRunResult(spec=spec, records=records,

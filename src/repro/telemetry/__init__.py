@@ -1,0 +1,70 @@
+"""Unified telemetry: spans, convergence probes, resource profiles.
+
+The paper's claims are about *trajectories* — how fast LID converges
+toward the Theorem 1/3 bounds and at what message cost — so the repo
+needs more than end-state counters.  This package is the measurement
+substrate shared by every engine and every experiment front end:
+
+- :mod:`repro.telemetry.spans` — a zero-overhead-when-disabled
+  span/timer API (``with tel.span("build_weights"):``) with nesting,
+  replacing the ad-hoc ``phase_seconds`` wall-clock dicts that used to
+  be assembled by hand in each engine;
+- :mod:`repro.telemetry.probes` — a convergence probe sampling
+  matched-fraction / quota-fill / outstanding-proposal trajectories at
+  virtual-time ticks, with one shared sampling convention across the
+  event, fast and resilient engines (samples are *deterministic* and
+  engine-comparable);
+- :mod:`repro.telemetry.resources` — peak RSS, GC pauses and
+  events/edges-per-second throughput for the scale work (ROADMAP
+  item 2);
+- :mod:`repro.telemetry.sink` — a versioned, deterministic JSONL
+  record format.  Nondeterministic fields carry reserved suffixes
+  (``_ms``, ``_kb``, ``_per_s``) and are segregated exactly the way
+  :mod:`repro.experiments.aggregate` excludes ``*_ms`` columns, so
+  canonical reports stay byte-reproducible across resumed runs;
+- :mod:`repro.telemetry.report` — ``python -m repro telemetry report``:
+  markdown/CSV rendering over the per-cell ``telemetry/*.jsonl`` files
+  of a grid store.
+
+See ``docs/observability.md`` for the schema and the determinism
+contract.
+"""
+
+from repro.telemetry.probes import (
+    ConvergenceProbe,
+    ProbeSample,
+    convergence_summary,
+    sample_nodes,
+)
+from repro.telemetry.report import render_telemetry_report, write_telemetry_report
+from repro.telemetry.resources import ResourceSampler, peak_rss_kb
+from repro.telemetry.sink import (
+    SCHEMA_VERSION,
+    canonical_fields,
+    is_deterministic_field,
+    read_jsonl,
+    session_records,
+    write_jsonl,
+)
+from repro.telemetry.spans import NULL, NullTelemetry, SpanRecord, Telemetry
+
+__all__ = [
+    "NULL",
+    "NullTelemetry",
+    "SpanRecord",
+    "Telemetry",
+    "ConvergenceProbe",
+    "ProbeSample",
+    "convergence_summary",
+    "sample_nodes",
+    "ResourceSampler",
+    "peak_rss_kb",
+    "SCHEMA_VERSION",
+    "canonical_fields",
+    "is_deterministic_field",
+    "read_jsonl",
+    "session_records",
+    "write_jsonl",
+    "render_telemetry_report",
+    "write_telemetry_report",
+]

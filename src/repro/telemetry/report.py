@@ -1,0 +1,214 @@
+"""``python -m repro telemetry report`` — render a store's telemetry.
+
+A grid store holds one ``telemetry/<cell_id>.jsonl`` per executed cell
+(when the run was telemetry-enabled).  This module joins those files
+into two canonical outputs inside the store:
+
+- ``telemetry_report.md`` — one row per cell: the run record's
+  deterministic fields plus the convergence summary (final quota fill,
+  outstanding-proposal peak, t50/t90/t99 lock-convergence ticks);
+- ``telemetry_summary.csv`` — the same rows as CSV.
+
+Both are built exclusively from deterministic fields (see the suffix
+contract in :mod:`repro.telemetry.sink`), so they are byte-identical
+across a kill-and-resume run — the same guarantee
+``experiments/aggregate.py`` gives ``report.md``/``summary.csv``.
+``--full`` appends a per-cell appendix of span timings and resource
+profiles; that appendix is machine-dependent by nature and explicitly
+outside the byte-reproducibility contract.
+
+This module deliberately imports nothing from ``repro.experiments``
+(the grid imports telemetry, not the other way round); it only needs
+the store *directory*, not the :class:`GridStore` object.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.telemetry.probes import ProbeSample, convergence_summary
+from repro.telemetry.sink import SCHEMA_VERSION, canonical_fields
+
+__all__ = [
+    "cell_summary",
+    "load_store_telemetry",
+    "render_telemetry_report",
+    "telemetry_summary_rows",
+    "write_telemetry_report",
+]
+
+#: fields of the run/probe records that identify rather than measure
+_META_FIELDS = ("schema", "kind")
+
+
+def load_store_telemetry(
+    store_dir: Union[str, Path],
+) -> dict[str, list[dict]]:
+    """All per-cell record lists of a store, keyed and ordered by cell id."""
+    tdir = Path(store_dir) / "telemetry"
+    if not tdir.is_dir():
+        return {}
+    from repro.telemetry.sink import read_jsonl
+
+    return {p.stem: read_jsonl(p) for p in sorted(tdir.glob("*.jsonl"))}
+
+
+def cell_summary(cell_id: str, records: Sequence[Mapping]) -> dict:
+    """One deterministic report row for one cell's telemetry records."""
+    run = next((r for r in records if r.get("kind") == "run"), {})
+    probes = [
+        ProbeSample.from_record(r) for r in records if r.get("kind") == "probe"
+    ]
+    row: dict = {"cell": cell_id}
+    row.update(canonical_fields(dict(run), drop=_META_FIELDS))
+    if probes:
+        for key, value in convergence_summary(probes).items():
+            row.setdefault(key, value)
+    return row
+
+
+def telemetry_summary_rows(cells: Mapping[str, Sequence[Mapping]]) -> list[dict]:
+    """Report rows for every cell, in sorted cell-id order."""
+    return [cell_summary(cid, cells[cid]) for cid in sorted(cells)]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def _columns(rows: Sequence[Mapping]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for c in row:
+            if c not in columns:
+                columns.append(c)
+    return columns
+
+
+def _md_table(rows: Sequence[Mapping]) -> str:
+    if not rows:
+        return "(no rows)\n"
+    columns = _columns(rows)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c, "")) for c in columns) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _full_appendix(cells: Mapping[str, Sequence[Mapping]]) -> list[str]:
+    lines = [
+        "## Appendix: spans and resource profiles (machine-dependent)",
+        "",
+        "_This section reports wall-clock and memory figures; it is not",
+        "covered by the byte-reproducibility contract._",
+        "",
+    ]
+    for cid in sorted(cells):
+        spans = [r for r in cells[cid] if r.get("kind") == "span"]
+        resources = [r for r in cells[cid] if r.get("kind") == "resource"]
+        if not spans and not resources:
+            continue
+        lines += [f"### {cid}", ""]
+        if spans:
+            lines.append(
+                _md_table(
+                    [
+                        {
+                            "path": s.get("path"),
+                            "depth": s.get("depth"),
+                            "start_ms": s.get("start_ms"),
+                            "duration_ms": s.get("duration_ms"),
+                        }
+                        for s in sorted(spans, key=lambda s: s.get("seq", 0))
+                    ]
+                )
+            )
+        for res in resources:
+            lines.append(
+                _md_table([{k: res[k] for k in sorted(res) if k != "kind"}])
+            )
+    return lines
+
+
+def render_telemetry_report(
+    cells: Mapping[str, Sequence[Mapping]],
+    *,
+    title: str = "",
+    full: bool = False,
+) -> str:
+    """The telemetry markdown report (deterministic bytes unless ``full``)."""
+    rows = telemetry_summary_rows(cells)
+    lines = [
+        f"# Telemetry report{' — ' + title if title else ''}",
+        "",
+        f"- schema: {SCHEMA_VERSION}",
+        f"- cells with telemetry: {len(rows)}",
+        "",
+        "## Convergence and end-state (deterministic fields only)",
+        "",
+        _md_table(rows),
+    ]
+    if full:
+        lines += _full_appendix(cells)
+    return "\n".join(lines)
+
+
+def _write_csv(rows: Sequence[Mapping], path: Path) -> None:
+    with path.open("w", newline="") as fh:
+        if not rows:
+            return
+        writer = csv.DictWriter(fh, fieldnames=_columns(rows))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _fmt(v) for k, v in row.items()})
+
+
+def write_telemetry_report(
+    store_dir: Union[str, Path],
+    *,
+    out_dir: Union[str, Path, None] = None,
+    title: Optional[str] = None,
+    full: bool = False,
+) -> dict[str, Path]:
+    """Write ``telemetry_report.md`` / ``telemetry_summary.csv``.
+
+    Outputs land inside the store (next to ``report.md``); with
+    ``out_dir`` the same files are additionally copied there under
+    ``telemetry_<title>_…`` names for archiving.
+    """
+    store_dir = Path(store_dir)
+    cells = load_store_telemetry(store_dir)
+    report = render_telemetry_report(
+        cells, title=title or store_dir.name, full=full
+    )
+    rows = telemetry_summary_rows(cells)
+
+    paths = {
+        "report": store_dir / "telemetry_report.md",
+        "summary": store_dir / "telemetry_summary.csv",
+    }
+    paths["report"].write_text(report)
+    _write_csv(rows, paths["summary"])
+
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        stem = title or store_dir.name
+        paths["out_report"] = out / f"telemetry_{stem}_report.md"
+        paths["out_summary"] = out / f"telemetry_{stem}_summary.csv"
+        paths["out_report"].write_text(report)
+        _write_csv(rows, paths["out_summary"])
+    return paths

@@ -1,0 +1,139 @@
+"""Resource profiles: peak RSS, GC pauses, events/edges per second.
+
+The million-node path (ROADMAP item 2) asks for a peak-RSS /
+edges-per-second trajectory; this module is where those numbers come
+from.  A :class:`ResourceSampler` brackets a run::
+
+    with ResourceSampler() as rs:
+        res = lid_matching_fast(...)
+    profile = rs.profile(events=res.metrics.events, edges=m)
+
+and yields a flat profile dict.  Every field is machine-load dependent
+and therefore carries one of the reserved nondeterministic suffixes
+(``_ms``, ``_kb``, ``_per_s`` — see :mod:`repro.telemetry.sink`), so
+resource records never enter canonical byte-reproducible reports.
+
+``resource.getrusage`` is POSIX-only; on platforms without it the RSS
+fields degrade to ``0.0`` instead of failing (the container bakes in
+CPython on Linux, where ``ru_maxrss`` is reported in KiB).
+"""
+
+from __future__ import annotations
+
+import gc
+from time import perf_counter
+from typing import Optional
+
+try:  # pragma: no cover - import gate exercised only off-POSIX
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+__all__ = ["ResourceSampler", "peak_rss_kb"]
+
+
+def peak_rss_kb() -> float:
+    """Process-lifetime peak resident set size in KiB (0.0 if unavailable).
+
+    Note ``ru_maxrss`` is a high-water mark: it never decreases, so the
+    *delta* across a run (``rss_growth_kb`` in the profile) is the
+    honest per-run figure on a warm process.
+    """
+    if _resource is None:
+        return 0.0
+    return float(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+class ResourceSampler:
+    """Brackets a run and reports its resource profile.
+
+    Usable as a context manager or via explicit :meth:`start` /
+    :meth:`stop`.  GC pauses are measured by registering a
+    ``gc.callbacks`` hook for the duration of the bracket; the hook is
+    always removed on exit, so nesting samplers or crashing inside the
+    bracket cannot leak callbacks.
+    """
+
+    def __init__(self) -> None:
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
+        self._rss0 = 0.0
+        self._rss1 = 0.0
+        self._gc_t0 = 0.0
+        self._gc_pauses: list[float] = []
+        self._hooked = False
+
+    # -- bracket ---------------------------------------------------------
+
+    def start(self) -> "ResourceSampler":
+        if self._t0 is not None and self._t1 is None:
+            raise RuntimeError("ResourceSampler already started")
+        self._t1 = None
+        self._gc_pauses = []
+        self._rss0 = peak_rss_kb()
+        if not self._hooked:
+            gc.callbacks.append(self._gc_callback)
+            self._hooked = True
+        self._t0 = perf_counter()
+        return self
+
+    def stop(self) -> "ResourceSampler":
+        if self._t0 is None:
+            raise RuntimeError("ResourceSampler never started")
+        self._t1 = perf_counter()
+        if self._hooked:
+            try:
+                gc.callbacks.remove(self._gc_callback)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._hooked = False
+        self._rss1 = peak_rss_kb()
+        return self
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    def _gc_callback(self, phase: str, info: dict) -> None:
+        if phase == "start":
+            self._gc_t0 = perf_counter()
+        elif phase == "stop":
+            self._gc_pauses.append(perf_counter() - self._gc_t0)
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        end = self._t1 if self._t1 is not None else perf_counter()
+        return end - self._t0
+
+    def profile(
+        self,
+        *,
+        events: Optional[int] = None,
+        edges: Optional[int] = None,
+    ) -> dict[str, float]:
+        """Flat profile dict; every key carries a nondeterministic suffix.
+
+        ``events`` / ``edges`` (when given) turn elapsed time into the
+        throughput figures the performance docs track.
+        """
+        wall = self.elapsed_s
+        out: dict[str, float] = {
+            "wall_ms": wall * 1e3,
+            "peak_rss_kb": self._rss1 if self._t1 is not None else peak_rss_kb(),
+            "rss_growth_kb": max(0.0, (self._rss1 or peak_rss_kb()) - self._rss0),
+            "gc_pause_ms": sum(self._gc_pauses) * 1e3,
+            "gc_max_pause_ms": (max(self._gc_pauses) if self._gc_pauses else 0.0)
+            * 1e3,
+        }
+        if events is not None:
+            out["events_per_s"] = events / wall if wall > 0 else 0.0
+        if edges is not None:
+            out["edges_per_s"] = edges / wall if wall > 0 else 0.0
+        return out

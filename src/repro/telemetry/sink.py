@@ -1,0 +1,137 @@
+"""Deterministic JSONL sink with a versioned schema.
+
+One telemetry session (one grid cell, one benchmark run, one campaign
+cell) serialises to a list of flat JSON records, one per line:
+
+- ``{"schema": 1, "kind": "run", ...}`` — exactly one per file, first
+  line: identifying coordinates plus deterministic end-state metrics;
+- ``{"kind": "probe", "t": ..., ...}`` — the convergence trajectory in
+  tick order (see :mod:`repro.telemetry.probes`), fully deterministic;
+- ``{"kind": "span", "seq": ..., "path": ..., "start_ms": ...,
+  "duration_ms": ...}`` — completed spans in completion order;
+- ``{"kind": "resource", "peak_rss_kb": ..., ...}`` — at most one, the
+  :class:`~repro.telemetry.resources.ResourceSampler` profile.
+
+**Determinism contract.**  Field *names* declare reproducibility:
+any field whose name ends in ``_ms`` (wall-clock), ``_kb`` (memory) or
+``_per_s`` (throughput) is machine-dependent; everything else must be
+a pure function of the run's inputs.  Canonical outputs (the telemetry
+report's markdown/CSV, mirroring how ``experiments/aggregate.py``
+excludes ``*_ms`` columns) are built only from deterministic fields,
+which is what makes kill-and-resume byte-identical.  Lines are written
+with sorted keys and compact separators so the files themselves diff
+cleanly.
+
+Bump :data:`SCHEMA_VERSION` on any incompatible record change and keep
+``read_jsonl`` accepting old versions where practical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.telemetry.probes import ProbeSample
+from repro.telemetry.spans import SpanRecord
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "NONDETERMINISTIC_SUFFIXES",
+    "canonical_fields",
+    "is_deterministic_field",
+    "read_jsonl",
+    "session_records",
+    "write_jsonl",
+]
+
+SCHEMA_VERSION = 1
+
+#: Reserved field-name suffixes marking machine-dependent values.
+NONDETERMINISTIC_SUFFIXES = ("_ms", "_kb", "_per_s")
+
+#: Record kinds that are deterministic end to end (every field).
+DETERMINISTIC_KINDS = frozenset({"run", "probe"})
+
+
+def is_deterministic_field(name: str) -> bool:
+    """True when ``name`` promises a machine-independent value."""
+    return not name.endswith(NONDETERMINISTIC_SUFFIXES)
+
+
+def canonical_fields(record: dict, *, drop: Sequence[str] = ()) -> dict:
+    """The deterministic subset of ``record``, in sorted key order."""
+    return {
+        k: record[k]
+        for k in sorted(record)
+        if k not in drop and is_deterministic_field(k)
+    }
+
+
+def session_records(
+    run: dict,
+    *,
+    spans: Union[Iterable[SpanRecord], None] = None,
+    probes: Union[Iterable[ProbeSample], None] = None,
+    resources: Optional[dict] = None,
+) -> list[dict]:
+    """Assemble one session's records in the canonical order.
+
+    Order is fixed (run, probes by tick, spans by completion, resource
+    last) so a file's deterministic prefix is stable regardless of how
+    the caller interleaved measurement.  ``run`` must contain only
+    deterministic fields unless suffixed appropriately; that is the
+    caller's promise, not something the sink can check for them.
+    """
+    records: list[dict] = [{"schema": SCHEMA_VERSION, "kind": "run", **run}]
+    for sample in probes or ():
+        records.append({"kind": "probe", **sample.to_record()})
+    for span in spans or ():
+        records.append(
+            {
+                "kind": "span",
+                "seq": span.seq,
+                "name": span.name,
+                "path": span.path,
+                "depth": span.depth,
+                "start_ms": span.start_s * 1e3,
+                "duration_ms": span.duration_s * 1e3,
+            }
+        )
+    if resources:
+        records.append({"kind": "resource", **resources})
+    return records
+
+
+def _dumps(record: dict) -> str:
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def write_jsonl(path: Union[str, Path], records: Iterable[dict]) -> Path:
+    """Write records one-per-line (sorted keys, compact, ``\\n`` EOL).
+
+    The write is atomic (temp file + rename) so a killed run never
+    leaves a torn file for resume logic to trip over.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8", newline="\n") as fh:
+        for record in records:
+            fh.write(_dumps(record))
+            fh.write("\n")
+    tmp.replace(path)
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> list[dict]:
+    """Read a telemetry JSONL file, skipping blank lines."""
+    out: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,206 @@
+"""Span/timer API: nested wall-clock attribution, free when disabled.
+
+A *span* is a named wall-clock interval (``build_weights``,
+``sim_loop``, ``extract`` …).  Spans nest: entering a span while
+another is open records the child under the parent's slash-joined
+path, so one run yields a small tree of phase timings instead of the
+flat hand-rolled ``phase_seconds`` dicts the engines used to fill.
+
+Two implementations share the interface:
+
+- :class:`Telemetry` — the recording implementation.  ``span(name)``
+  returns a context manager; on exit a :class:`SpanRecord` is appended
+  in completion order (deterministic for a single-threaded run).
+- :class:`NullTelemetry` — the disabled implementation.  Its
+  :meth:`~NullTelemetry.span` returns one process-wide no-op context
+  manager, so the disabled hot path costs a method call and **zero
+  allocations** (asserted by ``tests/telemetry/test_spans.py``).
+  Engine entry points accept ``telemetry=None`` and substitute
+  :data:`NULL`.
+
+Wall-clock durations are inherently nondeterministic, so every
+numeric field of an exported span record carries the ``_ms`` suffix
+and is excluded from canonical telemetry reports (see
+:mod:`repro.telemetry.sink`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Optional
+
+__all__ = ["NULL", "NullTelemetry", "SpanRecord", "Telemetry"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed span.
+
+    ``path`` is the slash-joined ancestry (``"cell/sim_loop"``);
+    ``depth`` its nesting level (0 = top-level); ``start_s`` /
+    ``duration_s`` are seconds relative to the owning
+    :class:`Telemetry`'s epoch.  ``seq`` is the completion index —
+    the deterministic ordering key for export.
+    """
+
+    seq: int
+    name: str
+    path: str
+    depth: int
+    start_s: float
+    duration_s: float
+
+
+class _NullSpan:
+    """The process-wide no-op span (never allocated per call)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a no-op.
+
+    There is one shared instance, :data:`NULL`; ``span`` hands back the
+    same :class:`_NullSpan` singleton every time, so a run with
+    telemetry off allocates nothing on the span path.
+    """
+
+    __slots__ = ()
+    enabled = False
+    open_spans = 0
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def records(self) -> list[SpanRecord]:
+        return []
+
+    def mark(self) -> int:
+        return 0
+
+    def phase_seconds(
+        self, depth: Optional[int] = 0, since: int = 0
+    ) -> dict[str, float]:
+        return {}
+
+
+NULL = NullTelemetry()
+
+
+class _Span:
+    """Context manager recording one interval into its telemetry."""
+
+    __slots__ = ("_tel", "_name", "_path", "_depth", "_t0")
+
+    def __init__(self, tel: "Telemetry", name: str):
+        self._tel = tel
+        self._name = name
+        self._path = ""
+        self._depth = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        tel = self._tel
+        stack = tel._stack
+        self._depth = len(stack)
+        self._path = (
+            f"{stack[-1]._path}/{self._name}" if stack else self._name
+        )
+        stack.append(self)
+        self._t0 = tel._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        tel = self._tel
+        t1 = tel._clock()
+        top = tel._stack.pop()
+        if top is not self:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"span {self._path!r} closed while {top._path!r} was open"
+            )
+        tel._records.append(
+            SpanRecord(
+                seq=len(tel._records),
+                name=self._name,
+                path=self._path,
+                depth=self._depth,
+                start_s=self._t0 - tel._epoch,
+                duration_s=t1 - self._t0,
+            )
+        )
+        return False
+
+
+class Telemetry:
+    """Recording telemetry: hands out nesting spans.
+
+    Parameters
+    ----------
+    clock:
+        Time source (seconds, monotonic); injectable for tests.  The
+        first reading taken at construction is the *epoch* all span
+        start offsets are relative to.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._records: list[SpanRecord] = []
+        self._stack: list[_Span] = []
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing ``name`` (nested under any open span)."""
+        return _Span(self, name)
+
+    def records(self) -> list[SpanRecord]:
+        """Completed spans in completion order."""
+        return list(self._records)
+
+    @property
+    def open_spans(self) -> int:
+        """Number of currently open (unfinished) spans."""
+        return len(self._stack)
+
+    def mark(self) -> int:
+        """Bookmark the current record count for a later ``since=`` query."""
+        return len(self._records)
+
+    def phase_seconds(
+        self, depth: Optional[int] = 0, since: int = 0
+    ) -> dict[str, float]:
+        """Total seconds per span *name*, summed over completions.
+
+        ``since`` restricts the query to records completed after a
+        :meth:`mark` bookmark — how an engine computes *its own* phase
+        dict when the caller's telemetry already holds earlier spans.
+        With the default ``depth=0`` only the outermost spans of the
+        considered window contribute (depth is relative to the
+        shallowest considered record, so an engine's phases still count
+        as top-level when nested under a caller's ``cell`` span) — the
+        drop-in replacement for the engines' legacy
+        ``SimMetrics.phase_seconds`` dicts (children are attribution
+        detail, not additional wall time).  ``depth=None`` sums every
+        completion of the name regardless of nesting.
+        """
+        records = self._records[since:] if since else self._records
+        out: dict[str, float] = {}
+        if not records:
+            return out
+        base = min(rec.depth for rec in records) if depth is not None else 0
+        for rec in records:
+            if depth is not None and rec.depth - base != depth:
+                continue
+            out[rec.name] = out.get(rec.name, 0.0) + rec.duration_s
+        return out

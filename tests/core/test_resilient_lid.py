@@ -51,6 +51,32 @@ class TestFaultFree:
         assert a.metrics.events == b.metrics.events
         assert a.metrics.retransmissions == b.metrics.retransmissions
 
+    def test_phase_attribution_matches_other_engines(self):
+        # parity with run_lid / lid_matching_fast: the resilient runtime
+        # attributes wall time to the same three phases (it used to
+        # report a single opaque "total")
+        ps, wt, quotas = _instance()
+        res = run_resilient_lid(wt, quotas, seed=1)
+        assert set(res.metrics.phase_seconds) == {
+            "build_weights", "sim_loop", "extract",
+        }
+        assert all(v >= 0.0 for v in res.metrics.phase_seconds.values())
+
+    def test_convergence_probe_on_faulty_run(self):
+        from repro.telemetry.probes import ConvergenceProbe
+
+        ps, wt, quotas = _instance()
+        probe = ConvergenceProbe()
+        res = run_resilient_lid(
+            wt, quotas, seed=5,
+            drop_filter=BernoulliLoss(0.2),
+            backoff=FAST_BACKOFF,
+            probe=probe,
+        )
+        assert res.terminated
+        assert len(probe) > 1
+        assert probe.final().locks >= probe.samples[0].locks
+
 
 class TestCrashes:
     def test_survivors_terminate_and_release_crashed_partners(self):

@@ -1,0 +1,64 @@
+"""SimMetrics: serialisation round-trip and flat counter exports."""
+
+from collections import Counter
+
+from repro.distsim.metrics import SimMetrics
+
+
+def _metrics():
+    return SimMetrics(
+        sent_by_kind=Counter({"PROP": 10, "REJ": 4}),
+        delivered_by_kind=Counter({"PROP": 9, "REJ": 4}),
+        sent_by_node=Counter({0: 6, 3: 8}),
+        received_by_node=Counter({1: 7, 2: 6}),
+        events=27,
+        end_time=5.0,
+        dropped=1,
+        retransmissions=2,
+        duplicates_suppressed=3,
+        max_depth=4,
+        phase_seconds={"build_weights": 0.1, "sim_loop": 0.5, "extract": 0.05},
+    )
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        m = _metrics()
+        again = SimMetrics.from_dict(m.to_dict())
+        assert again == m
+
+    def test_node_keys_survive_json(self):
+        import json
+
+        m = _metrics()
+        again = SimMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert again.sent_by_node == m.sent_by_node
+        assert again.received_by_node == m.received_by_node
+        assert all(isinstance(k, int) for k in again.sent_by_node)
+
+    def test_compact_form_drops_per_node(self):
+        d = _metrics().to_dict(per_node=False)
+        assert "sent_by_node" not in d and "received_by_node" not in d
+        again = SimMetrics.from_dict(d)
+        assert again.sent_by_kind == _metrics().sent_by_kind
+        assert again.sent_by_node == Counter()
+
+    def test_from_dict_defaults(self):
+        m = SimMetrics.from_dict({})
+        assert m == SimMetrics()
+
+
+class TestKindCounters:
+    def test_flat_sorted_fields(self):
+        counters = _metrics().kind_counters()
+        assert counters == {
+            "sent_PROP": 10,
+            "sent_REJ": 4,
+            "delivered_PROP": 9,
+            "delivered_REJ": 4,
+        }
+        sent = [k for k in counters if k.startswith("sent_")]
+        assert sent == sorted(sent)
+
+    def test_empty(self):
+        assert SimMetrics().kind_counters() == {}

@@ -1,0 +1,121 @@
+"""Convergence probes: sampling semantics and engine agreement."""
+
+import pytest
+
+from repro.core.fast import FastInstance
+from repro.core.fast_lid import lid_matching_fast
+from repro.core.lid import run_lid
+from repro.core.weights import satisfaction_weights
+from repro.experiments.instances import random_preference_instance
+from repro.telemetry.probes import (
+    ConvergenceProbe,
+    ProbeSample,
+    convergence_summary,
+    sample_nodes,
+)
+
+
+def _sample(t, locks, outstanding=0, finished=0):
+    return ProbeSample(t=t, locks=locks, matched_nodes=locks,
+                       finished_nodes=finished, outstanding_props=outstanding,
+                       props_sent=0, rejs_sent=0,
+                       quota_fill=locks / 100.0)
+
+
+class TestConvergenceProbe:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConvergenceProbe(interval=0)
+        with pytest.raises(ValueError):
+            ConvergenceProbe(interval=-1.0)
+
+    def test_record_and_final(self):
+        probe = ConvergenceProbe()
+        probe.record(_sample(0.0, 0))
+        probe.record(_sample(1.0, 10))
+        assert len(probe) == 2
+        assert probe.final().locks == 10
+
+    def test_time_to_fraction(self):
+        probe = ConvergenceProbe()
+        for t, locks in [(0.0, 0), (1.0, 40), (2.0, 90), (3.0, 100)]:
+            probe.record(_sample(t, locks))
+        assert probe.time_to_fraction(0.5) == 2.0   # 40 < 50, first >= at t=2
+        assert probe.time_to_fraction(0.9) == 2.0
+        assert probe.time_to_fraction(1.0) == 3.0
+
+    def test_summary_landmarks(self):
+        probe = ConvergenceProbe()
+        for t, locks in [(0.0, 0), (1.0, 60), (2.0, 100)]:
+            probe.record(_sample(t, locks, outstanding=100 - locks))
+        s = probe.summary()
+        assert s["ticks"] == 3
+        assert s["t_final"] == 2.0
+        assert s["locks"] == 100
+        assert s["outstanding_peak"] == 100
+        assert s["outstanding_final"] == 0
+        assert s["t50"] == 1.0 and s["t90"] == 2.0 and s["t99"] == 2.0
+
+    def test_empty_summary(self):
+        assert convergence_summary([]) == {"ticks": 0}
+
+
+class TestSampleNodes:
+    def test_duck_typed_aggregation(self):
+        class Node:
+            def __init__(self, locked, proposed, finished):
+                self.locked = set(locked)
+                self.proposed = set(proposed)
+                self.finished = finished
+                self.props_sent = len(proposed)
+                self.rejs_sent = 0
+                self.quota = 2
+
+        nodes = [Node({1}, {1, 2}, False), Node({2, 3}, {2, 3}, True)]
+        s = sample_nodes(5.0, nodes)
+        assert s.t == 5.0
+        assert s.locks == 3
+        assert s.matched_nodes == 2
+        assert s.finished_nodes == 1
+        assert s.outstanding_props == 1  # node 0 awaits an answer from 2
+        assert s.props_sent == 4
+        assert s.quota_fill == 3 / 4
+
+
+class TestEngineAgreement:
+    """The fast engine's probe replays the simulator's tick for tick."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("interval", [1.0, 2.0])
+    def test_reference_and_fast_trajectories_identical(self, seed, interval):
+        ps = random_preference_instance(40, 0.2, 2, seed=seed)
+        ref_probe = ConvergenceProbe(interval=interval)
+        fast_probe = ConvergenceProbe(interval=interval)
+        ref = run_lid(satisfaction_weights(ps), ps.quotas, probe=ref_probe)
+        fast = lid_matching_fast(FastInstance.from_preference_system(ps),
+                                 probe=fast_probe)
+        assert fast.matching.edge_set() == ref.matching.edge_set()
+        assert fast_probe.samples == ref_probe.samples
+        assert len(ref_probe) > 0
+
+    def test_probe_does_not_perturb_the_run(self):
+        ps = random_preference_instance(30, 0.2, 2, seed=3)
+        wt = satisfaction_weights(ps)
+        plain = run_lid(wt, ps.quotas)
+        probed = run_lid(wt, ps.quotas, probe=ConvergenceProbe())
+        assert probed.metrics.events == plain.metrics.events
+        assert probed.matching.edge_set() == plain.matching.edge_set()
+
+    def test_final_sample_reflects_quiescence(self):
+        ps = random_preference_instance(30, 0.2, 2, seed=4)
+        probe = ConvergenceProbe()
+        res = run_lid(satisfaction_weights(ps), ps.quotas, probe=probe)
+        final = probe.final()
+        assert final.outstanding_props == 0
+        assert final.matched_nodes == len(
+            {v for e in res.matching.edge_set() for v in e}
+        )
+
+    def test_round_trip_records(self):
+        s = _sample(2.0, 7, outstanding=3, finished=1)
+        assert ProbeSample.from_record(s.to_record()) == s

@@ -1,0 +1,165 @@
+"""Telemetry persistence and reporting over grid stores.
+
+The acceptance property of the telemetry subsystem: canonical report
+outputs are byte-identical across kill-and-resume (and across fresh
+re-runs on any machine), because they are built exclusively from
+deterministic record fields.
+"""
+
+import json
+
+from repro.experiments.grid import GridStore, run_grid
+from repro.experiments.gridspec import GridSpec
+from repro.telemetry.report import (
+    cell_summary,
+    load_store_telemetry,
+    render_telemetry_report,
+    telemetry_summary_rows,
+    write_telemetry_report,
+)
+
+SPEC = GridSpec(
+    name="tel",
+    engines=("lid-reference", "lid-fast"),
+    families=("er",),
+    sizes=(12,),
+    quotas=(2,),
+    seeds=(0, 1),
+    density=0.4,
+)
+
+FAULTY = GridSpec(
+    name="tel-faults",
+    engines=("resilient",),
+    families=("er",),
+    sizes=(14,),
+    quotas=(2,),
+    faults=("loss=0.1",),
+    seeds=(0,),
+    density=0.3,
+)
+
+
+class TestGridTelemetryPersistence:
+    def test_one_session_per_executed_cell(self, tmp_path):
+        store = GridStore(tmp_path / "g")
+        run_grid(SPEC, store=store, telemetry=True)
+        assert store.telemetry_ids() == store.done_ids()
+        for cell_id in store.telemetry_ids():
+            records = store.load_telemetry(cell_id)
+            kinds = [r["kind"] for r in records]
+            assert kinds[0] == "run"
+            assert kinds[-1] == "resource"
+            assert "probe" in kinds and "span" in kinds
+            assert records[0]["schema"] == 1
+            assert records[0]["cell"] == cell_id
+            assert "_telemetry" not in records[0]
+
+    def test_record_files_identical_with_and_without_telemetry(self, tmp_path):
+        a, b = GridStore(tmp_path / "a"), GridStore(tmp_path / "b")
+        run_grid(SPEC, store=a, telemetry=False)
+        run_grid(SPEC, store=b, telemetry=True)
+        for cell_id in a.done_ids():
+            ra = (a.cells_dir / f"{cell_id}.json").read_text()
+            rb = (b.cells_dir / f"{cell_id}.json").read_text()
+            det = lambda rec: {k: v for k, v in rec.items()
+                               if not k.endswith(("_ms", "_kb", "_per_s"))}
+            assert det(json.loads(ra)) == det(json.loads(rb))
+
+    def test_parallel_workers_persist_telemetry(self, tmp_path):
+        store = GridStore(tmp_path / "g")
+        run_grid(SPEC, store=store, workers=2, telemetry=True)
+        assert store.telemetry_ids() == store.done_ids()
+
+    def test_resilient_cells_carry_probe_and_counters(self, tmp_path):
+        store = GridStore(tmp_path / "g")
+        run_grid(FAULTY, store=store, telemetry=True)
+        (cell_id,) = store.done_ids()
+        record = store.load(cell_id)
+        # the reliable layer wraps protocol traffic: DATA/ACK/HB kinds
+        assert "sent_DATA" in record and "delivered_DATA" in record
+        assert "sent_ACK" in record
+        assert "dropped" in record and "duplicates_suppressed" in record
+        run = store.load_telemetry(cell_id)[0]
+        assert run["kind"] == "run"
+        kinds = {r["kind"] for r in store.load_telemetry(cell_id)}
+        assert "probe" in kinds
+
+    def test_cell_coords_in_run_record(self, tmp_path):
+        store = GridStore(tmp_path / "g")
+        run_grid(SPEC, store=store, telemetry=True)
+        cell_id = sorted(store.telemetry_ids())[0]
+        run = store.load_telemetry(cell_id)[0]
+        for coord in ("engine", "family", "n", "b", "seed"):
+            assert coord in run
+
+
+class TestTelemetryReport:
+    def _store(self, tmp_path, name="g"):
+        store = GridStore(tmp_path / name)
+        run_grid(SPEC, store=store, telemetry=True)
+        return store
+
+    def test_report_and_csv_written(self, tmp_path):
+        store = self._store(tmp_path)
+        paths = write_telemetry_report(store.root)
+        report = paths["report"].read_text()
+        assert "Telemetry report" in report
+        assert "t50" in report
+        # wall-clock columns stay out of the canonical table
+        header = paths["summary"].read_text().splitlines()[0]
+        assert not any(c.endswith(("_ms", "_kb", "_per_s"))
+                       for c in header.split(","))
+
+    def test_full_appendix_is_opt_in(self, tmp_path):
+        store = self._store(tmp_path)
+        cells = load_store_telemetry(store.root)
+        canonical = render_telemetry_report(cells)
+        full = render_telemetry_report(cells, full=True)
+        assert "machine-dependent" not in canonical
+        assert "machine-dependent" in full
+
+    def test_kill_and_resume_is_byte_identical(self, tmp_path):
+        store = self._store(tmp_path)
+        paths = write_telemetry_report(store.root)
+        ref = {k: paths[k].read_bytes() for k in ("report", "summary")}
+
+        # simulate a mid-flight kill: drop a subset of cells AND their
+        # telemetry sessions, then resume
+        cell_files = sorted(store.cells_dir.glob("*.json"))
+        for f in cell_files[::2]:
+            f.unlink()
+            (store.telemetry_dir / f"{f.stem}.jsonl").unlink()
+        resumed = run_grid(SPEC, store=store, telemetry=True)
+        assert resumed.executed == len(cell_files[::2])
+
+        paths2 = write_telemetry_report(store.root)
+        assert paths2["report"].read_bytes() == ref["report"]
+        assert paths2["summary"].read_bytes() == ref["summary"]
+
+    def test_independent_runs_are_byte_identical(self, tmp_path):
+        p1 = write_telemetry_report(self._store(tmp_path, "a").root, title="t")
+        p2 = write_telemetry_report(self._store(tmp_path, "b").root, title="t")
+        assert p1["report"].read_bytes() == p2["report"].read_bytes()
+        assert p1["summary"].read_bytes() == p2["summary"].read_bytes()
+
+    def test_out_dir_copies(self, tmp_path):
+        store = self._store(tmp_path)
+        out = tmp_path / "results"
+        paths = write_telemetry_report(store.root, out_dir=out, title="tel")
+        assert paths["out_report"].name == "telemetry_tel_report.md"
+        assert paths["out_report"].read_bytes() == paths["report"].read_bytes()
+
+    def test_cell_summary_uses_only_deterministic_fields(self, tmp_path):
+        store = self._store(tmp_path)
+        cells = load_store_telemetry(store.root)
+        for cell_id, records in cells.items():
+            summary = cell_summary(cell_id, records)
+            for field in summary:
+                assert not field.endswith(("_ms", "_kb", "_per_s")), field
+
+    def test_summary_rows_sorted_by_cell(self, tmp_path):
+        store = self._store(tmp_path)
+        rows = telemetry_summary_rows(load_store_telemetry(store.root))
+        ids = [r["cell"] for r in rows]
+        assert ids == sorted(ids)

@@ -1,0 +1,43 @@
+"""Resource sampler: profile shape and the nondeterminism suffixes."""
+
+import gc
+
+from repro.telemetry.resources import ResourceSampler, peak_rss_kb
+from repro.telemetry.sink import is_deterministic_field
+
+
+class TestResourceSampler:
+    def test_profile_fields_are_all_machine_dependent(self):
+        with ResourceSampler() as rs:
+            gc.collect()
+        profile = rs.profile(events=100, edges=50)
+        for name in profile:
+            assert not is_deterministic_field(name), name
+
+    def test_throughput_fields_optional(self):
+        with ResourceSampler() as rs:
+            pass
+        profile = rs.profile()
+        assert "events_per_s" not in profile
+        assert "edges_per_s" not in profile
+        assert "wall_ms" in profile
+        assert profile["wall_ms"] >= 0.0
+
+    def test_gc_callback_unregistered_after_stop(self):
+        rs = ResourceSampler().start()
+        assert any(cb.__self__ is rs for cb in gc.callbacks
+                   if hasattr(cb, "__self__"))
+        rs.stop()
+        assert not any(cb.__self__ is rs for cb in gc.callbacks
+                       if hasattr(cb, "__self__"))
+
+    def test_gc_pause_measured(self):
+        with ResourceSampler() as rs:
+            for _ in range(3):
+                gc.collect()
+        profile = rs.profile()
+        assert profile["gc_pause_ms"] >= 0.0
+        assert profile["gc_max_pause_ms"] <= profile["gc_pause_ms"] + 1e-9
+
+    def test_peak_rss_positive(self):
+        assert peak_rss_kb() > 0

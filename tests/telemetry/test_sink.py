@@ -1,0 +1,89 @@
+"""JSONL sink: schema, determinism contract, atomic round-trips."""
+
+import json
+
+import pytest
+
+from repro.telemetry.probes import ProbeSample
+from repro.telemetry.sink import (
+    SCHEMA_VERSION,
+    canonical_fields,
+    is_deterministic_field,
+    read_jsonl,
+    session_records,
+    write_jsonl,
+)
+from repro.telemetry.spans import SpanRecord
+
+
+def _sample(t):
+    return ProbeSample(t=t, locks=1, matched_nodes=1, finished_nodes=0,
+                       outstanding_props=0, props_sent=1, rejs_sent=0,
+                       quota_fill=0.5)
+
+
+class TestDeterminismContract:
+    def test_suffixes(self):
+        assert not is_deterministic_field("wall_ms")
+        assert not is_deterministic_field("peak_rss_kb")
+        assert not is_deterministic_field("events_per_s")
+        assert is_deterministic_field("events")
+        assert is_deterministic_field("rounds")
+        assert is_deterministic_field("mskew")  # suffix, not substring
+
+    def test_canonical_fields_sorted_and_filtered(self):
+        rec = {"b": 1, "a": 2, "wall_ms": 3.0, "kind": "run"}
+        assert list(canonical_fields(rec)) == ["a", "b", "kind"]
+        assert list(canonical_fields(rec, drop=("kind",))) == ["a", "b"]
+
+
+class TestSessionRecords:
+    def test_canonical_order_and_schema(self):
+        span = SpanRecord(seq=0, name="s", path="s", depth=0,
+                          start_s=0.5, duration_s=0.25)
+        records = session_records(
+            {"cell": "c1", "events": 7},
+            spans=[span],
+            probes=[_sample(0.0), _sample(1.0)],
+            resources={"peak_rss_kb": 100.0},
+        )
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["run", "probe", "probe", "span", "resource"]
+        assert records[0]["schema"] == SCHEMA_VERSION
+        assert records[0]["events"] == 7
+        # span wall-clock exports carry the _ms suffix
+        assert records[3]["start_ms"] == 500.0
+        assert records[3]["duration_ms"] == 250.0
+
+    def test_run_only(self):
+        records = session_records({"cell": "c1"})
+        assert [r["kind"] for r in records] == ["run"]
+
+
+class TestJsonlIO:
+    def test_round_trip(self, tmp_path):
+        records = session_records({"cell": "c1"}, probes=[_sample(0.0)])
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, records)
+        assert read_jsonl(path) == records
+        # no temp file left behind
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_byte_determinism(self, tmp_path):
+        records = [{"z": 1, "a": 2, "kind": "run", "schema": 1}]
+        write_jsonl(tmp_path / "a.jsonl", records)
+        write_jsonl(tmp_path / "b.jsonl", [dict(reversed(records[0].items()))])
+        assert (tmp_path / "a.jsonl").read_bytes() == \
+            (tmp_path / "b.jsonl").read_bytes()
+        line = (tmp_path / "a.jsonl").read_text().splitlines()[0]
+        assert list(json.loads(line)) == sorted(records[0])
+
+    def test_nan_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_jsonl(tmp_path / "n.jsonl",
+                        [{"kind": "run", "x": float("nan")}])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "b.jsonl"
+        p.write_text('{"kind":"run"}\n\n{"kind":"probe"}\n')
+        assert [r["kind"] for r in read_jsonl(p)] == ["run", "probe"]

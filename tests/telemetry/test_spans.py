@@ -1,0 +1,150 @@
+"""Span API: nesting, phase attribution, and the disabled-mode no-op."""
+
+import tracemalloc
+
+from repro.telemetry.spans import NULL, NullTelemetry, SpanRecord, Telemetry
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances 1s per call."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestTelemetry:
+    def test_single_span_records_duration(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("work"):
+            pass
+        (rec,) = tel.records()
+        assert rec.name == "work"
+        assert rec.path == "work"
+        assert rec.depth == 0
+        assert rec.duration_s == 1.0
+
+    def test_nesting_builds_slash_paths_and_depths(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+            with tel.span("inner2"):
+                pass
+        paths = [(r.path, r.depth) for r in tel.records()]
+        # completion order: children close before the parent
+        assert paths == [
+            ("outer/inner", 1),
+            ("outer/inner2", 1),
+            ("outer", 0),
+        ]
+
+    def test_seq_is_completion_order(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("a"):
+            with tel.span("b"):
+                pass
+        recs = {r.name: r for r in tel.records()}
+        assert recs["b"].seq < recs["a"].seq  # "b" closed first
+
+    def test_exception_still_closes_span(self):
+        tel = Telemetry(clock=FakeClock())
+        try:
+            with tel.span("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert [r.name for r in tel.records()] == ["boom"]
+        with tel.span("after"):
+            pass
+        assert tel.records()[-1].depth == 0  # stack fully unwound
+
+    def test_phase_seconds_sums_repeats(self):
+        tel = Telemetry(clock=FakeClock())
+        for _ in range(3):
+            with tel.span("phase"):
+                pass
+        assert tel.phase_seconds() == {"phase": 3.0}
+
+    def test_phase_seconds_depth_is_window_relative(self):
+        # an engine nested under a caller's span still sees its own
+        # phases at depth 0 when it marks the window first
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("cell"):
+            mark = tel.mark()
+            with tel.span("build"):
+                pass
+            with tel.span("sim"):
+                with tel.span("wave"):
+                    pass
+            phases = tel.phase_seconds(since=mark)
+        assert set(phases) == {"build", "sim"}
+
+    def test_phase_seconds_depth_none_sums_everything(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("a"):
+            with tel.span("b"):
+                pass
+        assert set(tel.phase_seconds(depth=None)) == {"a", "b"}
+
+    def test_records_returns_copy(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("x"):
+            pass
+        tel.records().clear()
+        assert len(tel.records()) == 1
+
+    def test_span_record_is_frozen(self):
+        rec = SpanRecord(seq=0, name="n", path="n", depth=0,
+                         start_s=0.0, duration_s=1.0)
+        try:
+            rec.name = "other"
+            raise AssertionError("SpanRecord must be immutable")
+        except AttributeError:
+            pass
+
+
+class TestNullTelemetry:
+    def test_disabled_interface(self):
+        assert not NULL.enabled
+        assert NULL.records() == []
+        assert NULL.phase_seconds() == {}
+        assert NULL.mark() == 0
+        with NULL.span("anything"):
+            pass
+        assert NULL.records() == []
+
+    def test_span_is_shared_singleton(self):
+        # the span object is reused, so the hot path allocates nothing
+        assert NULL.span("a") is NULL.span("b")
+
+    def test_zero_allocations_when_disabled(self):
+        tel = NullTelemetry()
+        # warm up any lazy caching before measuring
+        with tel.span("warm"):
+            pass
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(100):
+                with tel.span("hot"):
+                    pass
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        # tracemalloc's own snapshot bookkeeping allocates; the span
+        # path itself must not
+        ours = tracemalloc.Filter(False, tracemalloc.__file__)
+        stats = after.filter_traces([ours]).compare_to(
+            before.filter_traces([ours]), "lineno"
+        )
+        grown = sum(s.size_diff for s in stats if s.size_diff > 0)
+        assert grown == 0, f"disabled spans allocated {grown} bytes"
+
+    def test_enabled_and_disabled_agree_on_api(self):
+        enabled = [n for n in dir(Telemetry) if not n.startswith("_")]
+        for name in enabled:
+            assert hasattr(NullTelemetry, name), name
