@@ -174,11 +174,16 @@ def test_p4_telemetry_overhead(report, benchmark, bench_seed):
             "default_ms": 1e3 * t_default,
             "disabled_ms": 1e3 * t_disabled,
             "throughput_ratio": ratio,
+            # the same best-pair measurement expressed as a direct cost:
+            # how much slower the NULL run was than default, in percent —
+            # what the CI `--max` gate bounds (can be negative)
+            "overhead_pct": 100.0 * (1.0 / max(ratio, 1e-9) - 1.0),
         }
     ]
     report(
         rows,
-        ["n", "m", "default_ms", "disabled_ms", "throughput_ratio"],
+        ["n", "m", "default_ms", "disabled_ms", "throughput_ratio",
+         "overhead_pct"],
         title="P4  telemetry overhead on the fast LID engine"
               " (throughput_ratio = default / telemetry-disabled, best pair)",
         csv_name="p4_telemetry.csv",

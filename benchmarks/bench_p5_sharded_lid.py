@@ -1,0 +1,221 @@
+"""P5 — performance: the sharded multiprocessing LID engine.
+
+Engineering companion (not a paper claim).  Three measurements:
+
+1. **Parallel speedup** — ``lid_matching_fast`` (single-process,
+   round-batched numpy) vs ``sharded_lid_matching`` with four shards in
+   four worker processes at n = 200000.  Both engines produce the
+   identical matching (schedule invariance, Lemmas 3–6); the point of
+   the sharded engine is wall-clock, and the CI gate requires a 2x
+   speedup at this size.  The in-bench assert only fires on machines
+   with >= 4 cores *and* numba available — on a laptop without either
+   the row is still written, and ``benchmarks/gate.py`` enforces the
+   bound from the CSV in CI (where the jit leg installs ``.[dev,jit]``).
+
+2. **k=1 overhead** — the sharded engine collapsed to one shard is the
+   same wave schedule as the fast engine (bit-identical, asserted), so
+   the k=1 wall-clock gap is exactly the cost of the sharding machinery
+   (mailbox indirection + per-shard state).  Reported as
+   ``k1_overhead_pct`` and CI-gated with a direct ``--max`` bound.
+
+3. **Million-node trajectory** — one sharded run at n = 10^6 under a
+   :class:`ResourceSampler`: peak RSS, edges/s throughput, cut-edge
+   traffic.  This is the scale row docs/performance.md tracks; the CI
+   gate asserts the row exists (the fast engine's F2 series stops at
+   10^5).
+
+Instances at these sizes are built synthetically — vectorised random
+edge arrays straight into :class:`FastInstance` — because lowering a
+dict-based ``PreferenceSystem`` dominates the runtime long before the
+engines do.  Results land in ``benchmarks/results/p5_sharded_lid.csv``
+and ``p5_scale.csv``.
+"""
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from repro.core.fast import FastInstance
+from repro.core.fast_lid import lid_matching_fast
+from repro.core.sharded_lid import NUMBA_AVAILABLE, sharded_lid_matching
+from repro.telemetry.resources import ResourceSampler
+
+SPEEDUP_GATE_N = 200_000
+SPEEDUP_GATE = 2.0
+SPEEDUP_WORKERS = 4
+K1_N = 50_000
+K1_OVERHEAD_GATE_PCT = 100.0  # k=1 sharding machinery must stay < 2x fast
+SCALE_N = 1_000_000
+
+
+def _best_of(fn, k=3):
+    """Minimum wall time of k cold runs (gc off) and the last result."""
+    best = float("inf")
+    out = None
+    gc.disable()
+    try:
+        for _ in range(k):
+            t0 = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    return out, best
+
+
+def synthetic_instance(n, avg_deg, seed, quota=3):
+    """A random ``FastInstance`` built vectorised, no dict detour.
+
+    Draws ``n * avg_deg / 2`` endpoint pairs, drops loops and duplicate
+    edges via the canonical ``min*n + max`` code, and hands the arrays
+    to :class:`FastInstance` in the ascending ``(i, j)`` order its
+    invariant requires.  Weights are iid uniform (ties measure-zero),
+    standing in for the eq.-9 satisfaction weights whose exact values
+    do not matter to engine timing.
+    """
+    rng = np.random.default_rng(seed)
+    draws = int(n * avg_deg / 2)
+    a = rng.integers(0, n, draws, dtype=np.int64)
+    b = rng.integers(0, n, draws, dtype=np.int64)
+    keep = a != b
+    a, b = a[keep], b[keep]
+    code = np.minimum(a, b) * n + np.maximum(a, b)
+    code = np.unique(code)
+    i, j = code // n, code % n
+    w = rng.random(len(code)) + 1e-9  # positive, effectively tie-free
+    quotas = np.full(n, quota, dtype=np.int64)
+    return FastInstance(n, i, j, w, quotas, ri=None, rj=None, ell=None)
+
+
+def test_p5_sharded_speedup(report, benchmark, bench_seed):
+    rows = []
+
+    # -- k=1 overhead: same schedule, so the gap is pure machinery -----
+    fi = synthetic_instance(K1_N, 6, bench_seed)
+    k = 3
+    t_fast = t_k1 = float("inf")
+    overhead = float("inf")
+    for _ in range(k):
+        # interleaved pairs: adjacent timings share the machine's slow
+        # drift, so the per-pair ratio is stabler than a quotient of
+        # independently-taken minima (same idiom as bench_p4)
+        fast, tf = _best_of(lambda: lid_matching_fast(fi), k=1)
+        sh, ts = _best_of(lambda: sharded_lid_matching(fi, shards=1), k=1)
+        t_fast, t_k1 = min(t_fast, tf), min(t_k1, ts)
+        overhead = min(overhead, 100.0 * (ts / max(tf, 1e-9) - 1.0))
+    assert sh.matching.edge_set() == fast.matching.edge_set()
+    assert np.array_equal(sh.props_sent, fast.props_sent)
+    assert np.array_equal(sh.rejs_sent, fast.rejs_sent)
+    assert sh.metrics.events == fast.metrics.events
+    rows.append(
+        {
+            "n": K1_N,
+            "m": fi.m,
+            "shards": 1,
+            "workers": 0,
+            "jit": sh.jit,
+            "fast_ms": 1e3 * t_fast,
+            "sharded_ms": 1e3 * t_k1,
+            "k1_overhead_pct": overhead,
+            "identical": True,
+        }
+    )
+    if NUMBA_AVAILABLE:
+        assert overhead <= K1_OVERHEAD_GATE_PCT, (
+            f"k=1 sharding machinery costs {overhead:.1f}%"
+            f" > {K1_OVERHEAD_GATE_PCT:.0f}% over lid_matching_fast"
+        )
+
+    # -- 4-shard / 4-worker speedup at the gate size -------------------
+    fi = synthetic_instance(SPEEDUP_GATE_N, 6, bench_seed)
+    t_fast = t_sh = float("inf")
+    speedup = 0.0
+    for _ in range(2):
+        fast, tf = _best_of(lambda: lid_matching_fast(fi), k=1)
+        sh, ts = _best_of(
+            lambda: sharded_lid_matching(
+                fi, shards=4, workers=SPEEDUP_WORKERS
+            ),
+            k=1,
+        )
+        t_fast, t_sh = min(t_fast, tf), min(t_sh, ts)
+        speedup = max(speedup, tf / max(ts, 1e-9))
+    assert sh.matching.edge_set() == fast.matching.edge_set()
+    rows.append(
+        {
+            "n": SPEEDUP_GATE_N,
+            "m": fi.m,
+            "shards": 4,
+            "workers": SPEEDUP_WORKERS,
+            "jit": sh.jit,
+            "fast_ms": 1e3 * t_fast,
+            "sharded_ms": 1e3 * t_sh,
+            "speedup": speedup,
+            "cut_messages": sh.cut_messages,
+            "identical": True,
+        }
+    )
+
+    report(
+        rows,
+        ["n", "m", "shards", "workers", "jit", "fast_ms", "sharded_ms",
+         "speedup", "k1_overhead_pct", "cut_messages", "identical"],
+        title="P5  sharded multiprocessing LID vs single-process fast engine"
+              " (identical = same matching; k=1 additionally bit-identical)",
+        csv_name="p5_sharded_lid.csv",
+    )
+    # the 2x bound needs real cores and the compiled kernel; CI enforces
+    # it from the CSV on the jit leg, laptops just record the row
+    if os.cpu_count() >= 4 and NUMBA_AVAILABLE:
+        assert speedup >= SPEEDUP_GATE, (
+            f"sharded engine regressed: {speedup:.2f}x < {SPEEDUP_GATE}x"
+            f" at n={SPEEDUP_GATE_N} with {SPEEDUP_WORKERS} workers"
+        )
+
+    fi_small = synthetic_instance(20_000, 6, bench_seed)
+    benchmark(lambda: sharded_lid_matching(fi_small, shards=4))
+
+
+def test_p5_million_node_trajectory(report, benchmark, bench_seed):
+    """One n = 10^6 sharded run under the resource profiler.
+
+    No timing gate — the figure of merit is that the run *completes*
+    with a bounded memory footprint; CI asserts the row's presence and
+    positive throughput.  The peak-RSS and edges/s columns are the
+    numbers docs/performance.md and docs/observability.md quote.
+    """
+    fi = synthetic_instance(SCALE_N, 4, bench_seed)
+    workers = min(4, os.cpu_count() or 1)
+    sampler = ResourceSampler().start()
+    res = sharded_lid_matching(fi, shards=4, workers=workers)
+    sampler.stop()
+    profile = sampler.profile(events=res.metrics.events, edges=fi.m)
+    assert res.matching.size() > 0
+    assert len(res.shard_stats) == 4
+    rows = [
+        {
+            "n": SCALE_N,
+            "m": fi.m,
+            "shards": res.shards,
+            "workers": workers,
+            "jit": res.jit,
+            "wall_s": profile["wall_ms"] / 1e3,
+            "peak_rss_kb": profile["peak_rss_kb"],
+            "edges_per_s": profile["edges_per_s"],
+            "rounds": res.rounds,
+            "cut_messages": res.cut_messages,
+            "matched": res.matching.size(),
+        }
+    ]
+    report(
+        rows,
+        ["n", "m", "shards", "workers", "jit", "wall_s", "peak_rss_kb",
+         "edges_per_s", "rounds", "cut_messages", "matched"],
+        title="P5  million-node sharded LID trajectory (resource profile)",
+        csv_name="p5_scale.csv",
+    )
+
+    fi_small = synthetic_instance(20_000, 4, bench_seed)
+    benchmark(lambda: sharded_lid_matching(fi_small, shards=4, workers=0))

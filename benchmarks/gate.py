@@ -3,14 +3,21 @@
 Replaces the inline heredoc that used to live in ``ci.yml`` so the gate
 logic is unit-testable (``tests/experiments/test_gate.py``).  Reads an
 archived benchmark CSV, selects rows with ``--where`` equality filters,
-and requires the gated column to meet ``--min`` on every selected row;
-``--require-row`` additionally asserts that certain rows exist at all
-(guarding against silently dropped scalability rows).
+and requires the gated column to meet ``--min`` and/or stay within
+``--max`` on every selected row; ``--require-row`` additionally asserts
+that certain rows exist at all (guarding against silently dropped
+scalability rows).
+
+``--max`` exists so *overhead-style* gates (telemetry overhead < 2 %,
+shard-reconciliation overhead) read as the bound they mean instead of
+an inverted ``--min`` on a ratio column.
 
 Usage (the bench-smoke job)::
 
     python benchmarks/gate.py benchmarks/results/p4_fast_lid.csv \
         --column speedup --min 10 --where n=20000 --require-row n=100000
+    python benchmarks/gate.py benchmarks/results/p4_telemetry.csv \
+        --column overhead_pct --max 2
 """
 
 from __future__ import annotations
@@ -48,17 +55,26 @@ def _matches(row: Mapping[str, str], conds: Sequence[tuple[str, str]]) -> bool:
 def check_gate(
     rows: Sequence[Mapping[str, str]],
     column: str,
-    minimum: float,
+    minimum: Optional[float] = None,
     where: Sequence[tuple[str, str]] = (),
     require_rows: Sequence[Sequence[tuple[str, str]]] = (),
+    maximum: Optional[float] = None,
 ) -> list[str]:
     """Apply the gate; returns human-readable pass messages.
 
-    Raises :class:`GateError` when no row matches ``where``, when any
-    matching row's ``column`` falls below ``minimum`` (or is missing /
-    non-numeric), or when any ``require_rows`` condition set matches no
-    row.
+    At least one bound is required: ``minimum`` (speedup-style gates),
+    ``maximum`` (overhead-style gates), or both (a corridor).  Raises
+    :class:`GateError` when no row matches ``where``, when any matching
+    row's ``column`` falls below ``minimum`` / exceeds ``maximum`` (or
+    is missing / non-numeric), or when any ``require_rows`` condition
+    set matches no row.
     """
+    if minimum is None and maximum is None:
+        raise ValueError("check_gate needs a minimum and/or a maximum bound")
+    if minimum is not None and maximum is not None and maximum < minimum:
+        raise ValueError(
+            f"empty gate corridor: --max {maximum:g} < --min {minimum:g}"
+        )
     gated = [r for r in rows if _matches(r, where)]
     label = " and ".join(f"{k}={v}" for k, v in where) or "any row"
     if not gated:
@@ -72,11 +88,23 @@ def check_gate(
             raise GateError(
                 f"row {label} has no numeric {column!r} (got {raw!r})"
             ) from None
-        if value < minimum:
+        if minimum is not None and value < minimum:
             raise GateError(
                 f"{column} regressed: {value:g} < {minimum:g} at {label}"
             )
-        messages.append(f"gate ok: {column}={value:g} >= {minimum:g} at {label}")
+        if maximum is not None and value > maximum:
+            raise GateError(
+                f"{column} exceeded its bound: {value:g} > {maximum:g}"
+                f" at {label}"
+            )
+        if minimum is not None:
+            messages.append(
+                f"gate ok: {column}={value:g} >= {minimum:g} at {label}"
+            )
+        if maximum is not None:
+            messages.append(
+                f"gate ok: {column}={value:g} <= {maximum:g} at {label}"
+            )
     for conds in require_rows:
         req_label = " and ".join(f"{k}={v}" for k, v in conds)
         if not any(_matches(r, conds) for r in rows):
@@ -92,8 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("csv", help="path of the archived CSV")
     parser.add_argument("--column", required=True,
                         help="numeric column the threshold applies to")
-    parser.add_argument("--min", required=True, type=float, dest="minimum",
+    parser.add_argument("--min", type=float, dest="minimum", default=None,
                         help="minimum acceptable value of the column")
+    parser.add_argument("--max", type=float, dest="maximum", default=None,
+                        help="maximum acceptable value of the column"
+                             " (overhead-style gates); at least one of"
+                             " --min/--max is required")
     parser.add_argument("--where", action="append", default=[],
                         metavar="KEY=VALUE",
                         help="row filter; repeatable (all must match)")
@@ -104,12 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.minimum is None and args.maximum is None:
+        parser.error("at least one of --min/--max is required")
     try:
         where = [parse_condition(c) for c in args.where]
         require = [[parse_condition(c)] for c in args.require_row]
         messages = check_gate(load_rows(args.csv), args.column, args.minimum,
-                              where, require)
+                              where, require, maximum=args.maximum)
     except (GateError, ValueError, OSError) as exc:
         print(f"GATE FAILED: {exc}", file=sys.stderr)
         return 1

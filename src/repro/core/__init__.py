@@ -14,13 +14,17 @@ Public surface:
   reliable channels with failure detection (crashes, partitions),
 - :func:`~repro.core.fast_lid.lid_matching_fast` — Algorithm 1's
   round-batched fast engine (default channels, bit-identical results),
+- :func:`~repro.core.sharded_lid.sharded_lid_matching` — the fast
+  engine partitioned into per-shard wave loops with boundary
+  reconciliation (``multiprocessing`` workers, optional numba),
 - :mod:`~repro.core.analysis` — certificates and theorem bounds,
 - :mod:`~repro.core.variants` — future-work variants (§7),
-- :mod:`~repro.core.backend` — the ``"reference"``/``"fast"`` execution
-  selector over :mod:`~repro.core.fast`'s array-backed kernels.
+- :mod:`~repro.core.backend` — the ``"reference"``/``"fast"``/
+  ``"sharded"`` execution selector over :mod:`~repro.core.fast`'s
+  array-backed kernels.
 """
 
-from repro.core.backend import BACKENDS, Backend, get_backend
+from repro.core.backend import BACKENDS, Backend, ShardedBackend, get_backend
 from repro.core.dynamic_lid import DynamicLidHarness, DynamicLidNode
 from repro.core.fast import (
     FastInstance,
@@ -38,6 +42,7 @@ from repro.core.analysis import (
     weighted_blocking_edges,
 )
 from repro.core.fast_lid import FastLidResult, lid_matching_fast
+from repro.core.sharded_lid import ShardedLidResult, sharded_lid_matching
 from repro.core.lic import lic_matching, lic_matching_pool, solve_modified_bmatching
 from repro.core.mixed import MixedRunResult, run_mixed_adoption
 from repro.core.lid import LidNode, LidResult, run_lid, solve_lid
@@ -80,6 +85,9 @@ __all__ = [
     "lic_matching",
     "FastLidResult",
     "lid_matching_fast",
+    "ShardedBackend",
+    "ShardedLidResult",
+    "sharded_lid_matching",
     "MixedRunResult",
     "run_mixed_adoption",
     "lic_matching_pool",

@@ -1,6 +1,6 @@
-"""Execution-backend selector: ``"reference"`` vs ``"fast"``.
+"""Execution-backend selector: ``"reference"`` / ``"fast"`` / ``"sharded"``.
 
-The library keeps two interchangeable execution paths for the paper's
+The library keeps interchangeable execution paths for the paper's
 pipeline (eq.-9 weights → LIC edge selection → satisfaction scoring):
 
 - ``reference`` — the readable scalar implementations
@@ -11,7 +11,11 @@ pipeline (eq.-9 weights → LIC edge selection → satisfaction scoring):
   (:class:`~repro.core.fast.FastInstance`,
   :func:`~repro.core.fast.lic_matching_fast`,
   :func:`~repro.core.fast.satisfaction_profile_fast`) plus the
-  round-batched LID engine of :mod:`repro.core.fast_lid`.
+  round-batched LID engine of :mod:`repro.core.fast_lid`,
+- ``sharded`` — the fast kernels with LID executed by the partitioned
+  engine of :mod:`repro.core.sharded_lid` (per-shard wave loops with
+  boundary reconciliation, optional ``multiprocessing`` workers and
+  numba compilation).
 
 Both produce the same results — bit-identical weights and identical
 edge sets (see ``docs/performance.md``) — so callers pick purely on
@@ -40,7 +44,13 @@ from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
 from repro.core.weights import WeightTable, satisfaction_weights
 
-__all__ = ["Backend", "BACKENDS", "get_backend", "resolve_backend_name"]
+__all__ = [
+    "Backend",
+    "BACKENDS",
+    "ShardedBackend",
+    "get_backend",
+    "resolve_backend_name",
+]
 
 
 class Backend:
@@ -154,8 +164,49 @@ class FastBackend(Backend):
         return satisfaction_profile_fast(ps, matching, kind)
 
 
+class ShardedBackend(FastBackend):
+    """The scale-out path: fast kernels + the sharded LID engine.
+
+    Identical to :class:`FastBackend` for weights / LIC / satisfaction
+    (those kernels are already vectorised); :meth:`lid` runs
+    :func:`repro.core.sharded_lid.sharded_lid_matching` — the identical
+    matching for any shard count (the locked edge set is
+    schedule-invariant), with ``shards=1`` bit-identical to the fast
+    engine.  The default configuration (``shards=4, workers=0, jit
+    auto``) is deterministic and safe inside worker pools (no nested
+    multiprocessing); pass ``workers>0`` for in-engine parallelism.
+    """
+
+    name = "sharded"
+
+    def __init__(self, shards: int = 4, workers: int = 0, jit: "bool | None" = None):
+        self.shards = int(shards)
+        self.workers = int(workers)
+        self.jit = jit
+
+    def lid(
+        self,
+        wt: WeightTable,
+        quotas: Sequence[int],
+        seed: int = 0,
+        telemetry=None,
+        probe=None,
+    ):
+        from repro.core.sharded_lid import sharded_lid_matching
+
+        return sharded_lid_matching(
+            wt,
+            quotas,
+            shards=self.shards,
+            workers=self.workers,
+            jit=self.jit,
+            telemetry=telemetry,
+            probe=probe,
+        )
+
+
 BACKENDS: dict[str, Backend] = {
-    be.name: be for be in (ReferenceBackend(), FastBackend())
+    be.name: be for be in (ReferenceBackend(), FastBackend(), ShardedBackend())
 }
 
 

@@ -453,6 +453,9 @@ def solve_lid(
     retransmit_timeout: Optional[float] = None,
     telemetry=None,
     probe=None,
+    shards: Optional[int] = None,
+    shard_workers: Optional[int] = None,
+    jit: Optional[bool] = None,
 ) -> tuple[LidResult, WeightTable]:
     """End-to-end LID pipeline for a preference system.
 
@@ -476,22 +479,38 @@ def solve_lid(
     ``tests/core/test_backend.py``).  The fast result mirrors
     :class:`LidResult` except that per-node statistics live in
     ``props_sent`` / ``rejs_sent`` arrays rather than node objects.
+
+    ``backend="sharded"`` runs the same faithful schedule through the
+    partitioned engine of :mod:`repro.core.sharded_lid` — the identical
+    matching for any shard count, with per-shard wave loops that can
+    execute in ``multiprocessing`` workers (``shard_workers``) and
+    optionally under numba (``jit``; graceful fallback when absent).
+    It shares the fast backend's channel/fault restrictions;
+    ``shards`` / ``shard_workers`` / ``jit`` raise :class:`ValueError`
+    with any other backend.
     """
     from repro.core.backend import resolve_backend_name
 
     backend = resolve_backend_name(backend)
-    if backend == "fast":
+    if backend != "sharded" and (
+        shards is not None or shard_workers is not None or jit is not None
+    ):
+        raise ValueError(
+            "shards / shard_workers / jit only apply to backend='sharded' "
+            f"(got backend={backend!r})"
+        )
+    if backend in ("fast", "sharded"):
         if latency is not None or trace is not None or not fifo:
             raise ValueError(
-                "backend='fast' replays only the default reliable FIFO "
+                f"backend={backend!r} replays only the default reliable FIFO "
                 "unit-latency channels; use backend='reference' for custom "
                 "latency, tracing, or non-FIFO runs"
             )
         if drop_filter is not None or retransmit_timeout is not None:
             raise ValueError(
-                "backend='fast' cannot replay fault-injected runs: message "
-                "loss and retransmission timers break the one-round delivery "
-                "assumption of the round-batched engine; use "
+                f"backend={backend!r} cannot replay fault-injected runs: "
+                "message loss and retransmission timers break the one-round "
+                "delivery assumption of the round-batched engine; use "
                 "backend='reference' (the event-by-event simulator) for "
                 "drop_filter / retransmit_timeout runs"
             )
@@ -499,7 +518,19 @@ def solve_lid(
         from repro.core.fast_lid import lid_matching_fast
 
         fi = FastInstance.from_preference_system(ps)
-        result = lid_matching_fast(fi, telemetry=telemetry, probe=probe)
+        if backend == "sharded":
+            from repro.core.sharded_lid import sharded_lid_matching
+
+            result = sharded_lid_matching(
+                fi,
+                shards=4 if shards is None else shards,
+                workers=0 if shard_workers is None else shard_workers,
+                jit=jit,
+                telemetry=telemetry,
+                probe=probe,
+            )
+        else:
+            result = lid_matching_fast(fi, telemetry=telemetry, probe=probe)
         result.matching.validate(ps)
         return result, fi.weight_table()
     wt = satisfaction_weights(ps)

@@ -1,0 +1,997 @@
+"""Sharded LID engine: per-shard wave loops with boundary reconciliation.
+
+:func:`repro.core.fast_lid.lid_matching_fast` replays Algorithm 1 as
+synchronous PROP/REJ waves over one flat-array state machine; its wave
+loop is a single Python thread, which caps the engine near ``n ≈ 10^5``.
+This module is the scale-out path of ROADMAP item 2: partition the
+lowered :class:`~repro.core.fast.FastInstance` into ``k`` contiguous
+node shards, run the *same* wave loop per shard (optionally inside
+``multiprocessing`` workers, optionally numba-compiled), and reconcile
+the cut-edge traffic between rounds through an int-packed mailbox.
+
+Why sharding is exact
+---------------------
+
+The locally-heaviest-edge rule is *local*: a node's transition on a
+delivery depends only on its own slot state, and every message sent in
+round ``r`` is delivered in round ``r + 1`` regardless of which shard
+the receiver lives in.  A sharded wave therefore executes a legal
+unit-latency synchronous schedule of the very same protocol — only the
+*within-round* delivery order differs from the reference heap order.
+By Lemmas 3–6 the locked edge set is invariant under any schedule (it
+is exactly the LIC edge set), so the **matching is identical** to
+``run_lid`` / ``lid_matching_fast`` for every ``k``; per-node message
+*statistics* are order-sensitive and may legitimately differ for
+``k > 1``.  With ``k = 1`` the mailbox is the identity and the engine
+replays ``lid_matching_fast`` **bit-identically**, message statistics
+included (pinned in ``tests/core/test_sharded_lid.py``).
+
+Messages stay single ints (``receiver << SH | receiver_slot << 1 |
+is_rej`` — the exact :mod:`~repro.core.fast_lid` code), so cross-shard
+delivery is an array split (``searchsorted`` over the shard bounds)
+plus a concatenate: no object hops, no per-message routing table.
+
+Execution substrates
+--------------------
+
+- ``workers=0`` (default) — all shards step in-process, one after the
+  other.  Deterministic, zero IPC; what the grid runner and the
+  conformance pipelines use.
+- ``workers>0`` — shards live in persistent ``multiprocessing``
+  workers (fork where available, else spawn); the driver broadcasts
+  each round's inboxes and concatenates the returned outboxes.  The
+  result is *identical* to the serial executor: parallelism only moves
+  where the per-shard computation runs.
+- ``jit`` — ``None`` ("auto") compiles the per-shard wave kernel with
+  numba when it is importable; ``True`` requests it (falling back with
+  a warning when numba is absent — an optional dependency, see
+  ``pyproject.toml``); ``False`` forces the pure-Python list kernel.
+  The array kernel is a plain function (`_wave_kernel_arrays`), so the
+  interpreted and compiled paths are literally the same code object —
+  the differential tests pin the list and array kernels bit-identical
+  to each other without needing numba installed.
+
+Partitioning balances *directed slots* (work), not node counts: shard
+boundaries are placed by ``searchsorted`` on the CSR offsets so each
+shard owns ≈ ``2m / k`` slots.  See ``docs/performance.md`` for the
+boundary-reconciliation cost model and when to prefer
+``backend="fast"`` vs ``backend="sharded"``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.fast import FastInstance, _coerce_instance
+from repro.core.fast_lid import FastLidResult, _directed_layout
+from repro.core.matching import Matching
+from repro.core.preferences import PreferenceSystem
+from repro.core.weights import WeightTable
+from repro.distsim.metrics import SimMetrics
+from repro.telemetry.probes import ProbeSample
+from repro.telemetry.spans import Telemetry
+from repro.utils.validation import ProtocolError
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "ShardedLidResult",
+    "partition_nodes",
+    "sharded_lid_matching",
+    "warm_jit_kernels",
+]
+
+PROP = "PROP"
+REJ = "REJ"
+
+# per-slot protocol flag bits — identical to core.fast_lid
+IN, PR, AP, LK = 1, 2, 4, 8
+_INV_IN = 0xFF ^ IN
+
+try:  # pragma: no cover - exercised only when numba is installed
+    import numba as _numba  # noqa: F401
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+
+_JIT_KERNEL = None
+
+
+# ---------------------------------------------------------------------
+# wave kernels
+# ---------------------------------------------------------------------
+
+
+def _wave_kernel_arrays(
+    inbox,
+    st,
+    finished,
+    room,
+    n_out,
+    cursor,
+    props,
+    rejs,
+    received,
+    packed,
+    end,
+    out,
+    node_lo,
+    slot_lo,
+    sh,
+    rmask,
+):
+    """One shard wave over typed arrays (numba-compilable, plain-Python runnable).
+
+    State arrays are *local* to the shard (``st``/``packed``/``end``
+    indexed by ``global_slot - slot_lo``, per-node arrays by
+    ``global_node - node_lo``); message codes stay global.  Emitted
+    codes land in ``out`` (preallocated: a slot sends at most one PROP
+    and one REJ over its lifetime, so ``2 * local_slots`` bounds any
+    wave).  Returns ``(emitted, late, delivered_prop, delivered_rej)``.
+
+    The transition logic is line-for-line the
+    :func:`~repro.core.fast_lid.lid_matching_fast` inner loop; the list
+    kernel below and this function are pinned bit-identical by
+    ``tests/core/test_sharded_lid.py``.
+    """
+    n_emit = 0
+    late = 0
+    dp = 0
+    dr = 0
+    for idx in range(inbox.shape[0]):
+        code = inbox[idx]
+        j = (code >> sh) - node_lo
+        if finished[j] != 0:
+            late += 1
+            continue
+        r = ((code >> 1) & rmask) - slot_lo
+        v = st[r]
+        received[j] += 1
+        if code & 1:  # REJ on slot r's edge
+            dr += 1
+            st[r] = v & _INV_IN
+            if v & PR:
+                room[j] += 1
+                n_out[j] -= 1
+        else:  # PROP on slot r's edge
+            dp += 1
+            if v & (PR | LK) == PR:
+                st[r] = (v | AP | LK) & _INV_IN
+                n_out[j] -= 1
+            else:
+                st[r] = v | AP
+        rm = room[j]
+        if rm > 0:
+            p = cursor[j]
+            end_j = end[j]
+            while rm > 0 and p < end_j:
+                v = st[p]
+                if v & (IN | PR) == IN:
+                    rm -= 1
+                    n_out[j] += 1
+                    props[j] += 1
+                    out[n_emit] = packed[p]
+                    n_emit += 1
+                    if v & AP:
+                        st[p] = (v | PR | LK) & _INV_IN
+                        n_out[j] -= 1
+                    else:
+                        st[p] = v | PR
+                p += 1
+            cursor[j] = p
+            room[j] = rm
+        if n_out[j] == 0:
+            finished[j] = 1
+            sent = 0
+            for t in range(cursor[j], end[j]):
+                v = st[t]
+                if v & IN:
+                    st[t] = v & _INV_IN
+                    sent += 1
+                    out[n_emit] = packed[t] | 1
+                    n_emit += 1
+            rejs[j] += sent
+    return n_emit, late, dp, dr
+
+
+def _get_jit_kernel():
+    """The numba-compiled array kernel (compiled once per process)."""
+    global _JIT_KERNEL
+    if _JIT_KERNEL is None:
+        from numba import njit
+
+        _JIT_KERNEL = njit(cache=True)(_wave_kernel_arrays)
+    return _JIT_KERNEL
+
+
+def warm_jit_kernels() -> bool:
+    """Compile the numba wave kernel now; ``False`` when numba is absent.
+
+    Worker-pool initializers call this so compilation happens **once
+    per worker process** instead of once per task (see
+    :func:`repro.experiments.grid.run_grid`); it is spawn-safe (a plain
+    module-level function with no arguments) and a cheap no-op without
+    numba.
+    """
+    if not NUMBA_AVAILABLE:
+        return False
+    kernel = _get_jit_kernel()
+    z8 = np.zeros(0, dtype=np.uint8)
+    z = np.zeros(0, dtype=np.int64)
+    kernel(z, z8, z8, z, z, z, z, z, z, z, z, z, 0, 0, 1, 1)
+    return True
+
+
+def _wave_kernel_list(state, inbox):
+    """One shard wave over lists/bytearray — the no-numba hot path.
+
+    Same transitions as :func:`_wave_kernel_arrays` but on the list /
+    bytearray layout of :func:`~repro.core.fast_lid.lid_matching_fast`
+    (CPython list indexing is ~3x faster than scalar ndarray indexing,
+    which is what keeps the graceful fallback fast).  Returns
+    ``(out_list, late, delivered_prop, delivered_rej)``.
+    """
+    st = state.st
+    finished = state.finished
+    room = state.room
+    n_out = state.n_out
+    cursor = state.cursor
+    props = state.props
+    rejs = state.rejs
+    received = state.received
+    packed_l = state.packed_l
+    end_l = state.end_l
+    node_lo = state.node_lo
+    slot_lo = state.slot_lo
+    sh = state.sh
+    rmask = state.rmask
+    out: list[int] = []
+    append = out.append
+    late = 0
+    dp = 0
+    dr = 0
+    for code in inbox:
+        j = (code >> sh) - node_lo
+        if finished[j]:
+            late += 1
+            continue
+        r = ((code >> 1) & rmask) - slot_lo
+        v = st[r]
+        received[j] += 1
+        if code & 1:
+            dr += 1
+            st[r] = v & _INV_IN
+            if v & PR:
+                room[j] += 1
+                n_out[j] -= 1
+        else:
+            dp += 1
+            if v & (PR | LK) == PR:
+                st[r] = (v | AP | LK) & _INV_IN
+                n_out[j] -= 1
+            else:
+                st[r] = v | AP
+        rm = room[j]
+        if rm:
+            p = cursor[j]
+            end_j = end_l[j]
+            while rm and p < end_j:
+                v = st[p]
+                if v & (IN | PR) == IN:
+                    rm -= 1
+                    n_out[j] += 1
+                    props[j] += 1
+                    append(packed_l[p])
+                    if v & AP:
+                        st[p] = (v | PR | LK) & _INV_IN
+                        n_out[j] -= 1
+                    else:
+                        st[p] = v | PR
+                p += 1
+            cursor[j] = p
+            room[j] = rm
+        if n_out[j] == 0:
+            finished[j] = 1
+            sent = 0
+            for t in range(cursor[j], end_l[j]):
+                v = st[t]
+                if v & IN:
+                    st[t] = v & _INV_IN
+                    sent += 1
+                    append(packed_l[t] | 1)
+            rejs[j] += sent
+    return out, late, dp, dr
+
+
+# ---------------------------------------------------------------------
+# shard state
+# ---------------------------------------------------------------------
+
+
+class _ShardCore:
+    """One shard's protocol state plus its kernel dispatch.
+
+    Lives either in the driver process (serial executor) or inside a
+    persistent ``multiprocessing`` worker; built from the picklable
+    ``init`` payload of :func:`_shard_init` either way, so serial and
+    parallel runs start from byte-identical state.
+    """
+
+    def __init__(self, init: dict):
+        self.node_lo = int(init["node_lo"])
+        self.node_hi = int(init["node_hi"])
+        self.slot_lo = int(init["slot_lo"])
+        self.sh = int(init["sh"])
+        self.rmask = int(init["rmask"])
+        self.bounds = init["bounds"]  # node boundaries of ALL shards
+        self.kernel_mode = init["kernel_mode"]  # "list" | "arrays" | "jit"
+        self.owner_local = init["owner_local"]  # int64[slots] for sampling
+        self.quota_sum = int(init["quota_sum"])
+        self.wave_seconds = 0.0
+        self.processed = 0
+        self.late = 0
+        n_slots = len(init["st"])
+        if self.kernel_mode == "list":
+            self.st = bytearray(init["st"].tobytes())
+            self.finished = bytearray(init["finished"].tobytes())
+            self.room = init["room"].tolist()
+            self.n_out = init["n_out"].tolist()
+            self.cursor = init["cursor"].tolist()
+            self.props = init["props"].tolist()
+            self.rejs = init["rejs"].tolist()
+            self.received = init["received"].tolist()
+            self.packed_l = init["packed"].tolist()
+            self.end_l = init["end"].tolist()
+            self._kernel = None
+            self._out = None
+        else:
+            self.st = np.ascontiguousarray(init["st"])
+            self.finished = np.ascontiguousarray(init["finished"])
+            self.room = np.ascontiguousarray(init["room"])
+            self.n_out = np.ascontiguousarray(init["n_out"])
+            self.cursor = np.ascontiguousarray(init["cursor"])
+            self.props = np.ascontiguousarray(init["props"])
+            self.rejs = np.ascontiguousarray(init["rejs"])
+            self.received = np.ascontiguousarray(init["received"])
+            self.packed = np.ascontiguousarray(init["packed"])
+            self.end = np.ascontiguousarray(init["end"])
+            self._out = np.empty(2 * n_slots + 1, dtype=np.int64)
+            self._kernel = (
+                _get_jit_kernel()
+                if self.kernel_mode == "jit"
+                else _wave_kernel_arrays
+            )
+
+    # -- one synchronous round ----------------------------------------
+
+    def wave(self, inbox: np.ndarray):
+        """Process this round's deliveries; split the sends per shard.
+
+        Returns ``(outs, late, delivered_prop, delivered_rej)`` where
+        ``outs[d]`` holds the codes destined for shard ``d`` in emit
+        order — the concatenation the driver performs is the whole
+        inter-shard reconciliation.
+        """
+        t0 = perf_counter()
+        if self.kernel_mode == "list":
+            out_list, late, dp, dr = _wave_kernel_list(self, inbox.tolist())
+            out = np.asarray(out_list, dtype=np.int64)
+        else:
+            n_emit, late, dp, dr = self._kernel(
+                inbox,
+                self.st,
+                self.finished,
+                self.room,
+                self.n_out,
+                self.cursor,
+                self.props,
+                self.rejs,
+                self.received,
+                self.packed,
+                self.end,
+                self._out,
+                self.node_lo,
+                self.slot_lo,
+                self.sh,
+                self.rmask,
+            )
+            out = self._out[: int(n_emit)]
+        receivers = out >> self.sh
+        dest = np.searchsorted(self.bounds, receivers, side="right") - 1
+        outs = [out[dest == d].copy() for d in range(len(self.bounds) - 1)]
+        self.processed += int(dp) + int(dr)
+        self.late += int(late)
+        self.wave_seconds += perf_counter() - t0
+        return outs, int(late), int(dp), int(dr)
+
+    # -- probe sampling ------------------------------------------------
+
+    def sample(self) -> tuple[int, int, int, int, int, int]:
+        """Deterministic aggregate state: the shard's probe contribution."""
+        if self.kernel_mode == "list":
+            st = np.frombuffer(bytes(self.st), dtype=np.uint8)
+            finished = sum(self.finished)
+            outstanding = sum(self.n_out)
+            props = sum(self.props)
+            rejs = sum(self.rejs)
+        else:
+            st = self.st
+            finished = int(np.count_nonzero(self.finished))
+            outstanding = int(self.n_out.sum())
+            props = int(self.props.sum())
+            rejs = int(self.rejs.sum())
+        lk_mask = (st & LK) != 0
+        locks = int(np.count_nonzero(lk_mask))
+        n_local = self.node_hi - self.node_lo
+        matched = 0
+        if locks and n_local:
+            matched = int(
+                np.count_nonzero(
+                    np.bincount(self.owner_local[lk_mask], minlength=n_local)
+                )
+            )
+        return locks, matched, int(finished), int(outstanding), int(props), int(rejs)
+
+    # -- end of run ----------------------------------------------------
+
+    def finalize(self) -> dict:
+        """Final per-shard arrays + counters, for global reassembly."""
+        if self.kernel_mode == "list":
+            st = np.frombuffer(bytes(self.st), dtype=np.uint8)
+            finished = np.frombuffer(bytes(self.finished), dtype=np.uint8)
+            props = np.asarray(self.props, dtype=np.int64)
+            rejs = np.asarray(self.rejs, dtype=np.int64)
+            received = np.asarray(self.received, dtype=np.int64)
+        else:
+            st = self.st
+            finished = self.finished
+            props = self.props
+            rejs = self.rejs
+            received = self.received
+        return {
+            "st": st,
+            "finished": finished,
+            "props": props,
+            "rejs": rejs,
+            "received": received,
+            "processed": self.processed,
+            "late": self.late,
+            "wave_seconds": self.wave_seconds,
+        }
+
+
+def _shard_init(
+    s: int,
+    bounds: np.ndarray,
+    start: np.ndarray,
+    owner: np.ndarray,
+    packed: np.ndarray,
+    st0: np.ndarray,
+    fin0: np.ndarray,
+    room0: np.ndarray,
+    n_out0: np.ndarray,
+    cursor0: np.ndarray,
+    props0: np.ndarray,
+    rejs0: np.ndarray,
+    quota: np.ndarray,
+    sh: int,
+    rmask: int,
+    kernel_mode: str,
+) -> dict:
+    """The picklable state slice shard ``s`` starts from."""
+    nlo, nhi = int(bounds[s]), int(bounds[s + 1])
+    slo, shi = int(start[nlo]), int(start[nhi])
+    return {
+        "node_lo": nlo,
+        "node_hi": nhi,
+        "slot_lo": slo,
+        "sh": sh,
+        "rmask": rmask,
+        "bounds": bounds,
+        "kernel_mode": kernel_mode,
+        "owner_local": owner[slo:shi] - nlo,
+        "quota_sum": int(quota[nlo:nhi].sum()),
+        "st": st0[slo:shi],
+        "finished": fin0[nlo:nhi],
+        "room": room0[nlo:nhi],
+        "n_out": n_out0[nlo:nhi],
+        "cursor": cursor0[nlo:nhi] - slo,
+        "props": props0[nlo:nhi],
+        "rejs": rejs0[nlo:nhi],
+        "received": np.zeros(nhi - nlo, dtype=np.int64),
+        "packed": packed[slo:shi],
+        "end": start[nlo + 1 : nhi + 1] - slo,
+    }
+
+
+# ---------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------
+
+
+class _SerialExecutor:
+    """All shards step in the driver process (deterministic default)."""
+
+    def __init__(self, inits: Sequence[dict]):
+        self.cores = [_ShardCore(init) for init in inits]
+
+    def wave(self, inboxes):
+        return [core.wave(inboxes[s]) for s, core in enumerate(self.cores)]
+
+    def sample(self):
+        return [core.sample() for core in self.cores]
+
+    def finalize(self):
+        return [core.finalize() for core in self.cores]
+
+    def close(self):
+        pass
+
+
+def _worker_main(conn, inits: dict) -> None:
+    """Persistent shard worker: build cores once, then serve waves.
+
+    ``inits`` maps shard index -> init payload; building the cores here
+    (not in the parent) is what makes numba compilation happen once per
+    worker process, and keeps fork/spawn behaviour identical.
+    """
+    cores = {s: _ShardCore(init) for s, init in inits.items()}
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "wave":
+                conn.send({s: cores[s].wave(inbox) for s, inbox in msg[1].items()})
+            elif cmd == "sample":
+                conn.send({s: core.sample() for s, core in cores.items()})
+            elif cmd == "finalize":
+                conn.send({s: core.finalize() for s, core in cores.items()})
+            else:  # "stop"
+                break
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
+        pass
+    finally:
+        conn.close()
+
+
+class _MPExecutor:
+    """Shards distributed round-robin over persistent worker processes.
+
+    Uses the ``fork`` start method where available (worker start is
+    milliseconds and inherits the imported interpreter); ``spawn``
+    elsewhere.  Every payload is a plain pickle over a ``Pipe`` — the
+    compact int codes make a round's mailbox a few MB even at
+    ``n = 10^6``.
+    """
+
+    def __init__(self, inits: Sequence[dict], workers: int):
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        k = len(inits)
+        workers = max(1, min(int(workers), k))
+        self.assignment: list[list[int]] = [[] for _ in range(workers)]
+        for s in range(k):
+            self.assignment[s % workers].append(s)
+        self.conns = []
+        self.procs = []
+        try:
+            for w, shard_ids in enumerate(self.assignment):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child, {s: inits[s] for s in shard_ids}),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self.conns.append(parent)
+                self.procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+        self.k = k
+
+    def _gather(self, messages) -> list:
+        for conn, msg in zip(self.conns, messages):
+            conn.send(msg)
+        merged: dict[int, object] = {}
+        for conn in self.conns:
+            merged.update(conn.recv())
+        return [merged[s] for s in range(self.k)]
+
+    def wave(self, inboxes):
+        return self._gather(
+            [
+                ("wave", {s: inboxes[s] for s in shard_ids})
+                for shard_ids in self.assignment
+            ]
+        )
+
+    def sample(self):
+        return self._gather([("sample",)] * len(self.conns))
+
+    def finalize(self):
+        return self._gather([("finalize",)] * len(self.conns))
+
+    def close(self):
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self.procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+
+
+# ---------------------------------------------------------------------
+# partitioning
+# ---------------------------------------------------------------------
+
+
+def partition_nodes(start: np.ndarray, shards: int) -> np.ndarray:
+    """Contiguous node boundaries balancing *directed slots* per shard.
+
+    ``start`` is the ``n + 1`` CSR offset array of
+    :func:`~repro.core.fast_lid._directed_layout`; the cut before shard
+    ``s`` is placed at the first node whose cumulative slot count
+    reaches ``s * 2m / k``, so every shard owns ≈ equal protocol work
+    regardless of degree skew.  Contiguity keeps a shard's slots one
+    array slice — no gather/scatter on the hot path — and makes
+    receiver→shard routing a ``searchsorted`` over ``k + 1`` ints.
+
+    Returns ``bounds`` with ``k + 1`` entries (``bounds[0] = 0``,
+    ``bounds[k] = n``); empty shards are legal (``k > n``, or heavily
+    skewed degree distributions).
+    """
+    n = len(start) - 1
+    k = max(1, int(shards))
+    total = int(start[-1])
+    targets = (np.arange(1, k, dtype=np.int64) * total) // k
+    cuts = np.searchsorted(start, targets, side="left")
+    bounds = np.empty(k + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[-1] = n
+    bounds[1:-1] = np.clip(cuts, 0, n)
+    np.maximum.accumulate(bounds, out=bounds)
+    return bounds
+
+
+# ---------------------------------------------------------------------
+# result
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class ShardedLidResult(FastLidResult):
+    """A :class:`~repro.core.fast_lid.FastLidResult` plus shard metadata.
+
+    Attributes
+    ----------
+    shards:
+        Number of shards the run was partitioned into.
+    jit:
+        Whether the numba-compiled kernel actually ran (``False`` under
+        the graceful pure-Python fallback).
+    cut_messages:
+        Messages delivered across a shard boundary (0 for ``k = 1``) —
+        the traffic the inter-shard mailbox reconciled.
+    reconcile_seconds:
+        Driver wall-clock spent splitting/concatenating mailboxes (the
+        non-parallel fraction of the round loop).
+    shard_stats:
+        One dict per shard: ``shard`` / ``nodes`` / ``slots`` /
+        ``processed`` / ``late`` / ``props_sent`` / ``rejs_sent`` /
+        ``locks`` (all deterministic) plus ``wave_ms`` (wall-clock).
+        The skew between shards' ``processed`` counts is what
+        ``telemetry report --full`` surfaces via per-shard spans.
+    """
+
+    shards: int = 1
+    jit: bool = False
+    cut_messages: int = 0
+    reconcile_seconds: float = 0.0
+    shard_stats: list = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------
+
+
+def _resolve_kernel_mode(jit: Optional[bool], _kernel: Optional[str]) -> str:
+    if _kernel is not None:
+        if _kernel not in ("list", "arrays", "jit"):
+            raise ValueError(f"unknown kernel override {_kernel!r}")
+        if _kernel == "jit" and not NUMBA_AVAILABLE:
+            raise ValueError("kernel='jit' requires numba")
+        return _kernel
+    if jit is False:
+        return "list"
+    if jit is True and not NUMBA_AVAILABLE:
+        warnings.warn(
+            "jit=True requested but numba is not installed; falling back to"
+            " the pure-Python shard kernel (pip install 'repro[jit]')",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return "list"
+    return "jit" if NUMBA_AVAILABLE else "list"
+
+
+def sharded_lid_matching(
+    src: "FastInstance | PreferenceSystem | WeightTable",
+    quotas: Optional[Sequence[int]] = None,
+    *,
+    shards: int = 4,
+    workers: int = 0,
+    jit: Optional[bool] = None,
+    max_events: Optional[int] = None,
+    telemetry=None,
+    probe=None,
+    _kernel: Optional[str] = None,
+) -> ShardedLidResult:
+    """LID as per-shard synchronous waves with mailbox reconciliation.
+
+    Produces the **identical matching** to ``run_lid`` /
+    ``lid_matching_fast`` for every shard count (the locked edge set is
+    schedule-invariant, Lemmas 3–6) and is **bit-identical** to
+    ``lid_matching_fast`` — message statistics included — for
+    ``shards=1``.  Conformance-gated via the ``lid-sharded`` pipeline
+    of :mod:`repro.testing.differential`.
+
+    Parameters
+    ----------
+    src, quotas:
+        As :func:`~repro.core.fast_lid.lid_matching_fast`.
+    shards:
+        Partition width ``k`` (clamped to ``[1, n]``).  The shard count
+        — not the worker count — determines the execution schedule, so
+        results are a deterministic function of ``(instance, shards)``.
+    workers:
+        ``0`` steps every shard in-process; ``> 0`` runs shards inside
+        that many persistent ``multiprocessing`` workers (clamped to
+        ``shards``), returning the identical result in parallel
+        wall-time.
+    jit:
+        ``None`` auto-selects the numba kernel when importable;
+        ``True`` requests it (graceful fallback + ``RuntimeWarning``
+        when numba is missing); ``False`` forces the list kernel.
+    max_events:
+        Hang-detector budget over processed deliveries (same default
+        policy as the fast engine).
+    telemetry, probe:
+        As the fast engine; additionally records one ``partition`` span,
+        a per-shard ``shard<i>`` span plus a ``reconcile`` span under
+        ``sim_loop``, and probe samples that aggregate all shards with
+        the exact fast-engine tick convention (bit-identical trajectory
+        for ``shards=1``).
+    _kernel:
+        Test hook: force ``"list"`` / ``"arrays"`` (the interpreted
+        array kernel) / ``"jit"`` regardless of ``jit``/numba.
+    """
+    tel = telemetry if telemetry is not None else Telemetry()
+    mark = tel.mark()
+    kernel_mode = _resolve_kernel_mode(jit, _kernel)
+
+    with tel.span("build_weights"):
+        fi = _coerce_instance(src, quotas)
+        n, m = fi.n, fi.m
+        if quotas is None:
+            quota = fi.quota
+        else:
+            quota = np.asarray([int(q) for q in quotas], dtype=np.int64)
+            if quota.shape != (n,):
+                raise ValueError(f"quotas length {len(quotas)} != n={n}")
+
+        start, nbr, rev, owner = _directed_layout(fi)
+        deg = np.diff(start)
+
+        # ---- round 0 (global, vectorised — identical to fast_lid) ----
+        eff = np.minimum(quota, deg)
+        slot_pos = np.arange(2 * m, dtype=np.int64) - start[owner]
+        prop0 = slot_pos < eff[owner]
+        fin0 = eff <= 0
+        rej0 = fin0[owner]
+
+        rbits = (2 * m).bit_length()
+        sh = rbits + 1
+        rmask = (1 << rbits) - 1
+        packed = (nbr << sh) | (rev << 1)
+        cur0 = (packed | rej0)[prop0 | rej0]
+
+        st0 = (
+            np.where(rej0, 0, IN) | np.where(prop0, PR, 0)
+        ).astype(np.uint8)
+        fin0_u8 = fin0.astype(np.uint8)
+        room0 = quota - eff
+        n_out0 = eff.copy()
+        cursor0 = start[:-1] + eff
+        props0 = eff.copy()
+        rejs0 = np.where(fin0, deg, 0)
+
+        if max_events is None:
+            max_events = 1000 + 500 * n + 50 * len(cur0)
+    total_quota = int(quota.sum())
+
+    with tel.span("partition"):
+        bounds = partition_nodes(start, min(int(shards), max(n, 1)))
+        k = len(bounds) - 1
+        slot_bounds = start[bounds]
+        inits = [
+            _shard_init(
+                s, bounds, start, owner, packed, st0, fin0_u8, room0,
+                n_out0, cursor0, props0, rejs0, quota, sh, rmask, kernel_mode,
+            )
+            for s in range(k)
+        ]
+        if workers and k > 1:
+            executor = _MPExecutor(inits, workers)
+        else:
+            executor = _SerialExecutor(inits)
+
+        # split the round-0 burst by receiver shard (order-preserving)
+        recv0 = cur0 >> sh
+        dest0 = np.searchsorted(bounds, recv0, side="right") - 1
+        inboxes = [cur0[dest0 == d] for d in range(k)]
+
+    def _merged_sample(tick: float, parts) -> ProbeSample:
+        locks = sum(p[0] for p in parts)
+        return ProbeSample(
+            t=float(tick),
+            locks=locks,
+            matched_nodes=sum(p[1] for p in parts),
+            finished_nodes=sum(p[2] for p in parts),
+            outstanding_props=sum(p[3] for p in parts),
+            props_sent=sum(p[4] for p in parts),
+            rejs_sent=sum(p[5] for p in parts),
+            quota_fill=(locks / total_quota) if total_quota else 0.0,
+        )
+
+    probe_tick = 0.0
+    rounds = 0
+    events = 0
+    processed = 0
+    late_total = 0
+    delivered_prop = 0
+    delivered_rej = 0
+    max_depth = 0
+    cut_messages = 0
+    reconcile_s = 0.0
+    try:
+        with tel.span("sim_loop"):
+            pending = int(sum(len(b) for b in inboxes))
+            while pending:
+                if probe is not None and rounds + 1 >= probe_tick:
+                    parts = executor.sample()
+                    while rounds + 1 >= probe_tick:
+                        probe.record(_merged_sample(probe_tick, parts))
+                        probe_tick += probe.interval
+                rounds += 1
+                events += pending
+                results = executor.wave(inboxes)
+                t0 = perf_counter()
+                delivered_before = delivered_prop + delivered_rej
+                for s, (_, late, dp, dr) in enumerate(results):
+                    late_total += late
+                    delivered_prop += dp
+                    delivered_rej += dr
+                nxt = []
+                for d in range(k):
+                    parts_d = [results[s][0][d] for s in range(k)]
+                    cut_messages += sum(
+                        len(p) for s, p in enumerate(parts_d) if s != d
+                    )
+                    nonempty = [p for p in parts_d if len(p)]
+                    if len(nonempty) == 1:
+                        nxt.append(nonempty[0])
+                    elif nonempty:
+                        nxt.append(np.concatenate(nonempty))
+                    else:
+                        nxt.append(cur0[:0])
+                inboxes = nxt
+                reconcile_s += perf_counter() - t0
+                if delivered_prop + delivered_rej > delivered_before:
+                    max_depth = rounds
+                processed = delivered_prop + delivered_rej
+                if processed > max_events:
+                    raise ProtocolError(
+                        f"sharded LID exceeded {max_events} deliveries"
+                        " without quiescing; likely a protocol bug (Lemma 5"
+                        " guarantees termination)"
+                    )
+                pending = int(sum(len(b) for b in inboxes))
+            if probe is not None:
+                probe.record(_merged_sample(probe_tick, executor.sample()))
+
+            finals = executor.finalize()
+            for s, fin in enumerate(finals):
+                tel.add_span(f"shard{s}", fin["wave_seconds"])
+            tel.add_span("reconcile", reconcile_s)
+    finally:
+        executor.close()
+
+    with tel.span("extract"):
+        st_all = np.concatenate([f["st"] for f in finals]) if m else st0
+        finished_all = np.concatenate([f["finished"] for f in finals])
+        props_arr = np.concatenate([f["props"] for f in finals])
+        rejs_arr = np.concatenate([f["rejs"] for f in finals])
+        received_arr = np.concatenate([f["received"] for f in finals])
+
+        if not finished_all.all():
+            bad = int(np.flatnonzero(finished_all == 0)[0])
+            raise ProtocolError(
+                f"node {bad} did not finish (Lemma 5 violated?)"
+            )
+        lk = (st_all & LK) != 0
+        if m and not np.array_equal(lk, lk[rev]):
+            s_ = int(np.flatnonzero(lk != lk[rev])[0])
+            i_, j_ = int(owner[s_]), int(nbr[s_])
+            raise ProtocolError(
+                f"asymmetric lock: {i_} locked {j_} but not vice versa"
+            )
+        half = lk & (owner < nbr)
+        matching = Matching.from_trusted_arrays(n, owner[half], nbr[half])
+
+        metrics = SimMetrics()
+        total_props = int(props_arr.sum())
+        total_rejs = int(rejs_arr.sum())
+        if total_props:
+            metrics.sent_by_kind[PROP] = total_props
+        if total_rejs:
+            metrics.sent_by_kind[REJ] = total_rejs
+        if delivered_prop:
+            metrics.delivered_by_kind[PROP] = delivered_prop
+        if delivered_rej:
+            metrics.delivered_by_kind[REJ] = delivered_rej
+        sent_arr = props_arr + rejs_arr
+        nz = np.flatnonzero(sent_arr)
+        metrics.sent_by_node.update(
+            dict(zip(nz.tolist(), sent_arr[nz].tolist()))
+        )
+        nz_r = np.flatnonzero(received_arr)
+        metrics.received_by_node.update(
+            dict(zip(nz_r.tolist(), received_arr[nz_r].tolist()))
+        )
+        metrics.events = events
+        metrics.end_time = float(rounds)
+        metrics.max_depth = max_depth
+
+        shard_stats = []
+        for s, fin in enumerate(finals):
+            nlo, nhi = int(bounds[s]), int(bounds[s + 1])
+            shard_stats.append(
+                {
+                    "shard": s,
+                    "nodes": nhi - nlo,
+                    "slots": int(slot_bounds[s + 1] - slot_bounds[s]),
+                    "processed": int(fin["processed"]),
+                    "late": int(fin["late"]),
+                    "props_sent": int(fin["props"].sum()),
+                    "rejs_sent": int(fin["rejs"].sum()),
+                    "locks": int(((fin["st"] & LK) != 0).sum()),
+                    "wave_ms": 1e3 * fin["wave_seconds"],
+                }
+            )
+    metrics.phase_seconds = tel.phase_seconds(since=mark)
+    return ShardedLidResult(
+        matching=matching,
+        metrics=metrics,
+        props_sent=props_arr,
+        rejs_sent=rejs_arr,
+        late_messages=late_total,
+        shards=k,
+        jit=(kernel_mode == "jit"),
+        cut_messages=cut_messages,
+        reconcile_seconds=reconcile_s,
+        shard_stats=shard_stats,
+    )

@@ -57,7 +57,12 @@ __all__ = ["main", "build_parser"]
 
 def _cmd_scenario(args) -> int:
     sc = build_scenario(args.name, args.n, seed=args.seed)
-    result, _ = solve_lid(sc.ps, backend=args.backend)
+    if args.backend == "sharded":
+        result, _ = solve_lid(sc.ps, backend="sharded", shards=args.shards,
+                              shard_workers=args.shard_workers,
+                              jit=True if args.jit else None)
+    else:
+        result, _ = solve_lid(sc.ps, backend=args.backend)
     m = result.matching
     v = m.satisfaction_vector(sc.ps)
     print(f"scenario={sc.name} n={sc.ps.n} m={sc.ps.m} b_max={sc.ps.b_max}")
@@ -376,36 +381,53 @@ def _cmd_conformance(args) -> int:
     max_n = args.max_n or (300 if args.smoke else 120)
     seeds = tuple(range(args.seeds))
     specs = smoke_specs(max_n=max_n, seeds=seeds)
-    sweep = conformance_sweep(specs)
+    pipelines = None
+    if args.pipelines:
+        from repro.testing.differential import PIPELINES
+
+        pipelines = tuple(p.strip() for p in args.pipelines.split(",") if p.strip())
+        unknown = [p for p in pipelines if p not in PIPELINES]
+        if unknown:
+            print(f"unknown pipelines {unknown}; known: {sorted(PIPELINES)}")
+            return 2
+    sweep = (conformance_sweep(specs) if pipelines is None
+             else conformance_sweep(specs, pipelines=pipelines))
     print_table(
         [c.row() for c in sweep.cells],
         title=f"conformance sweep — {len(sweep.cells)} cells,"
               f" {len(sweep.cells[0].report.runs)} pipelines each",
     )
-    smoke = mutation_smoke(out_dir=args.out)
-    rows = [
-        {"mutation": o.mutation,
-         "caught": "yes" if o.caught else "MISSED",
-         "minimal": f"n={o.repro.instance.n} m={o.repro.instance.m}"
-         if o.repro else "-",
-         "kinds": ",".join(o.divergence_kinds) or "-"}
-        for o in smoke.outcomes
-    ]
-    print_table(rows, title="mutation smoke — every planted bug must be caught")
-    if args.out:
-        print(f"minimised repro files written to {args.out}")
-    ok = sweep.ok and smoke.ok
+    if pipelines is None:
+        smoke = mutation_smoke(out_dir=args.out)
+        rows = [
+            {"mutation": o.mutation,
+             "caught": "yes" if o.caught else "MISSED",
+             "minimal": f"n={o.repro.instance.n} m={o.repro.instance.m}"
+             if o.repro else "-",
+             "kinds": ",".join(o.divergence_kinds) or "-"}
+            for o in smoke.outcomes
+        ]
+        print_table(rows,
+                    title="mutation smoke — every planted bug must be caught")
+        if args.out:
+            print(f"minimised repro files written to {args.out}")
+    else:
+        # a pipeline subset skips the mutation smoke: its planted bugs
+        # target the full default pipeline set
+        smoke = None
+    ok = sweep.ok and (smoke is None or smoke.ok)
     if not sweep.ok:
         for cell in sweep.failures:
             print(f"DIVERGENCE in cell [{cell.spec.label()}]:")
             for d in cell.report.divergences[:5]:
                 print(f"  [{d.kind}] {d.left} vs {d.right}: {d.detail}")
-    if not smoke.ok:
+    if smoke is not None and not smoke.ok:
         print(f"UNCAUGHT planted bugs: {', '.join(smoke.missed)}")
     if not ok:
         return 1
-    print(f"all {len(sweep.cells)} cells agree across backends;"
-          f" all {len(smoke.outcomes)} planted bugs caught")
+    print(f"all {len(sweep.cells)} cells agree across backends"
+          + ("" if smoke is None
+             else f"; all {len(smoke.outcomes)} planted bugs caught"))
     return 0
 
 
@@ -466,9 +488,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=sorted(SCENARIOS))
     p.add_argument("--n", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--backend", choices=["reference", "fast"], default="reference",
-                   help="LID execution path: event-by-event simulator or the"
-                        " round-batched fast engine (identical results)")
+    p.add_argument("--backend", choices=["reference", "fast", "sharded"],
+                   default="reference",
+                   help="LID execution path: event-by-event simulator, the"
+                        " round-batched fast engine, or the partitioned"
+                        " sharded engine (identical matchings)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="partition width for --backend sharded")
+    p.add_argument("--shard-workers", type=int, default=0,
+                   help="multiprocessing workers for --backend sharded"
+                        " (0 = serial in-process)")
+    p.add_argument("--jit", action="store_true",
+                   help="request the numba-compiled shard kernel (graceful"
+                        " fallback with a warning when numba is absent)")
     p.set_defaults(fn=_cmd_scenario)
 
     p = sub.add_parser("compare", help="compare algorithms on a scenario")
@@ -476,7 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--exact", action="store_true", help="also solve the MILP optimum")
-    p.add_argument("--backend", choices=["reference", "fast"], default="reference",
+    p.add_argument("--backend", choices=["reference", "fast", "sharded"],
+                   default="reference",
                    help="execution backend for the LIC pipeline row")
     p.set_defaults(fn=_cmd_compare)
 
@@ -594,6 +627,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default=None, metavar="FILE",
                    help="re-run a conformance_repro JSON file and check"
                         " the recorded divergences reproduce")
+    p.add_argument("--pipelines", default=None, metavar="A,B,...",
+                   help="comma-separated pipeline subset to sweep (e.g."
+                        " 'lic-reference,lid-sharded'); skips the mutation"
+                        " smoke, whose planted bugs target the full set")
     p.set_defaults(fn=_cmd_conformance)
 
     p = sub.add_parser("discover", help="gossip discovery -> ranking -> LID pipeline")
@@ -606,9 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=50)
     p.add_argument("--events", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--backend", choices=["reference", "fast"], default="reference",
-                   help="reference rebuilds weights per event; fast uses the"
-                        " incremental WeightCache")
+    p.add_argument("--backend", choices=["reference", "fast", "sharded"],
+                   default="reference",
+                   help="reference rebuilds weights per event; fast/sharded"
+                        " use the incremental WeightCache")
     p.set_defaults(fn=_cmd_churn)
 
     return parser

@@ -57,16 +57,23 @@ __all__ = [
     "load_spec",
 ]
 
-ENGINES = ("lic-reference", "lic-fast", "lid-reference", "lid-fast", "resilient")
+ENGINES = (
+    "lic-reference",
+    "lic-fast",
+    "lid-reference",
+    "lid-fast",
+    "lid-sharded",
+    "resilient",
+)
 
 #: engines that run the centralised (weights → LIC) pipeline
 LIC_ENGINES = ("lic-reference", "lic-fast")
 #: engines that run the distributed LID protocol
-LID_ENGINES = ("lid-reference", "lid-fast")
+LID_ENGINES = ("lid-reference", "lid-fast", "lid-sharded")
 
 
 def engine_backend(engine: str) -> str:
-    """The ``reference``/``fast`` execution backend behind an engine name."""
+    """The ``reference``/``fast``/``sharded`` backend behind an engine name."""
     if engine == "resilient":
         return "reference"
     return engine.split("-", 1)[1]

@@ -82,6 +82,9 @@ class NullTelemetry:
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
 
+    def add_span(self, name: str, duration_s: float) -> None:
+        return None
+
     def records(self) -> list[SpanRecord]:
         return []
 
@@ -163,6 +166,32 @@ class Telemetry:
     def span(self, name: str) -> _Span:
         """A context manager timing ``name`` (nested under any open span)."""
         return _Span(self, name)
+
+    def add_span(self, name: str, duration_s: float) -> None:
+        """Record an externally measured interval as a completed span.
+
+        The span is filed as a child of the currently open span (path,
+        depth), ending *now*: ``start_s`` is back-computed as
+        ``now - duration_s``.  This is how concurrent engines attribute
+        time measured elsewhere — e.g. the sharded LID engine records
+        each worker's accumulated wave time as a ``shard<i>`` child of
+        its ``sim_loop`` span, intervals that overlap in wall-clock and
+        therefore cannot be expressed with nested :meth:`span` context
+        managers.
+        """
+        t1 = self._clock()
+        stack = self._stack
+        path = f"{stack[-1]._path}/{name}" if stack else name
+        self._records.append(
+            SpanRecord(
+                seq=len(self._records),
+                name=name,
+                path=path,
+                depth=len(stack),
+                start_s=max(0.0, t1 - self._epoch - duration_s),
+                duration_s=duration_s,
+            )
+        )
 
     def records(self) -> list[SpanRecord]:
         """Completed spans in completion order."""

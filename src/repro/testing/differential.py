@@ -1,8 +1,9 @@
 """Cross-backend differential engine.
 
-The repo computes the same matching five ways — reference LIC, fast
-LIC, reference LID (event simulator), fast LID (round-batched engine)
-and resilient LID (reliable channels, fault-free here) — and the
+The repo computes the same matching six ways — reference LIC, fast
+LIC, reference LID (event simulator), fast LID (round-batched engine),
+sharded LID (partitioned waves with boundary reconciliation) and
+resilient LID (reliable channels, fault-free here) — and the
 paper's lemmas say they must all agree: Lemmas 3–6 make every greedy
 execution select the LIC edge set, and the fast engines are documented
 bit-identical replays.  This module runs any instance through all of
@@ -167,6 +168,25 @@ def _run_lid_fast(ps: PreferenceSystem, seed: int) -> PipelineRun:
     )
 
 
+def _run_lid_sharded(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    # shards=4 exercises boundary reconciliation on every non-trivial
+    # instance; workers=0 keeps the pipeline deterministic and safe
+    # inside pool workers.  For k > 1 the wave schedule differs from
+    # the reference, so message counts are reported but NOT twinned
+    # (the matching must still be identical — Lemmas 3–6).
+    from repro.core.fast import satisfaction_weights_fast
+    from repro.core.sharded_lid import sharded_lid_matching
+
+    wt = satisfaction_weights_fast(ps)
+    res = sharded_lid_matching(wt, ps.quotas, shards=4)
+    return PipelineRun(
+        "lid-sharded", res.matching,
+        res.matching.total_satisfaction(ps),
+        prop_messages=res.prop_messages, rej_messages=res.rej_messages,
+        weight_table=wt,
+    )
+
+
 def _run_lid_resilient(ps: PreferenceSystem, seed: int) -> PipelineRun:
     from repro.core.resilient_lid import run_resilient_lid
     from repro.core.weights import satisfaction_weights
@@ -185,6 +205,7 @@ PIPELINES: dict[str, Callable[[PreferenceSystem, int], PipelineRun]] = {
     "lic-fast": _run_lic_fast,
     "lid-reference": _run_lid_reference,
     "lid-fast": _run_lid_fast,
+    "lid-sharded": _run_lid_sharded,
     "lid-resilient": _run_lid_resilient,
 }
 

@@ -6,6 +6,7 @@ from repro.core.backend import (
     BACKENDS,
     FastBackend,
     ReferenceBackend,
+    ShardedBackend,
     get_backend,
     resolve_backend_name,
 )
@@ -16,12 +17,13 @@ from repro.testing.strategies import random_ps
 
 class TestRegistry:
     def test_names(self):
-        assert set(BACKENDS) == {"reference", "fast"}
+        assert set(BACKENDS) == {"reference", "fast", "sharded"}
 
     def test_get_backend_types(self):
         assert isinstance(get_backend(), ReferenceBackend)
         assert isinstance(get_backend("reference"), ReferenceBackend)
         assert isinstance(get_backend("fast"), FastBackend)
+        assert isinstance(get_backend("sharded"), ShardedBackend)
 
     def test_resolve_normalises(self):
         assert resolve_backend_name("FAST") == "fast"

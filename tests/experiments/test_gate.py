@@ -62,6 +62,28 @@ class TestCheckGate:
         msgs = gate.check_gate(ok, "speedup", 10.0)
         assert len(msgs) == 2
 
+    def test_max_passes_and_reports(self):
+        msgs = gate.check_gate(ROWS, "speedup", None, [("n", "20000")],
+                               maximum=20.0)
+        assert msgs == ["gate ok: speedup=18.4 <= 20 at n=20000"]
+
+    def test_max_exceeded_fails(self):
+        with pytest.raises(gate.GateError, match="exceeded its bound"):
+            gate.check_gate(ROWS, "speedup", None, [("n", "20000")],
+                            maximum=10.0)
+
+    def test_min_and_max_corridor(self):
+        msgs = gate.check_gate(ROWS, "speedup", 10.0, [("n", "20000")],
+                               maximum=20.0)
+        assert len(msgs) == 2
+        with pytest.raises(ValueError, match="empty gate corridor"):
+            gate.check_gate(ROWS, "speedup", 20.0, [("n", "20000")],
+                            maximum=10.0)
+
+    def test_no_bound_rejected(self):
+        with pytest.raises(ValueError, match="minimum and/or a maximum"):
+            gate.check_gate(ROWS, "speedup", None, [("n", "20000")])
+
     def test_require_row(self):
         msgs = gate.check_gate(
             ROWS, "speedup", 10.0, [("n", "20000")],
@@ -108,6 +130,24 @@ class TestMain:
         rc = gate.main([str(path), "--column", "speedup", "--min", "10",
                         "--where", "bogus"])
         assert rc == 1
+
+    def test_max_flag_pass_and_fail(self, tmp_path, capsys):
+        path = self._csv(tmp_path)
+        rc = gate.main([str(path), "--column", "speedup", "--max", "20",
+                        "--where", "n=20000"])
+        assert rc == 0
+        assert "<= 20" in capsys.readouterr().out
+        rc = gate.main([str(path), "--column", "speedup", "--max", "10",
+                        "--where", "n=20000"])
+        assert rc == 1
+        assert "exceeded its bound" in capsys.readouterr().err
+
+    def test_missing_bounds_is_usage_error(self, tmp_path, capsys):
+        path = self._csv(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            gate.main([str(path), "--column", "speedup"])
+        assert exc.value.code == 2
+        assert "--min/--max" in capsys.readouterr().err
 
     def test_ci_invocation_against_archived_csv(self, capsys):
         """The exact arguments the bench-smoke job runs must pass."""

@@ -252,3 +252,44 @@ def test_run_grid_cell_is_pure_of_spec_extras():
         return {k: v for k, v in r.items() if not k.endswith("_ms")}
 
     assert strip(a) == strip(b)
+
+
+class TestShardedCells:
+    SPEC = GridSpec(name="shardy", engines=("lid-fast", "lid-sharded"),
+                    families=("er",), sizes=(40,), quotas=(2,), seeds=(0, 1),
+                    density=0.2)
+
+    def test_sharded_records_carry_shard_observables(self):
+        res = run_grid(self.SPEC)
+        assert res.ok
+        sharded = [r for r in res.records if r["engine"] == "lid-sharded"]
+        fast = [r for r in res.records if r["engine"] == "lid-fast"]
+        assert len(sharded) == len(fast) == 2
+        for s, f in zip(sharded, fast):
+            assert s["shards"] == 4
+            assert s["cut_messages"] >= 0 and s["shard_skew"] >= 0
+            # schedule-invariant matching: same edges, same satisfaction
+            assert s["edges"] == f["edges"]
+            assert s["sat_total"] == pytest.approx(f["sat_total"])
+            assert "shards" not in f  # fast cells stay lean
+        json.dumps(res.records[0])
+
+    def test_sharded_observables_are_deterministic(self):
+        cell = [c for c in self.SPEC.cells() if c.engine == "lid-sharded"][0]
+        a = run_grid_cell(self.SPEC, cell)
+        b = run_grid_cell(self.SPEC, cell)
+        keys = ("shards", "cut_messages", "shard_skew", "messages", "events")
+        assert {k: a[k] for k in keys} == {k: b[k] for k in keys}
+
+    def test_telemetry_carries_per_shard_spans(self):
+        cell = [c for c in self.SPEC.cells() if c.engine == "lid-sharded"][0]
+        record = run_grid_cell(self.SPEC, cell, telemetry=True)
+        paths = [r["path"] for r in record.pop("_telemetry")
+                 if r.get("kind") == "span"]
+        assert "cell/sim_loop/shard0" in paths
+        assert "cell/sim_loop/shard3" in paths
+        assert "cell/sim_loop/reconcile" in paths
+
+    def test_pool_initializer_is_importable_and_safe(self):
+        from repro.experiments.grid import _pool_init
+        assert _pool_init() is None  # no-op without numba, compile with

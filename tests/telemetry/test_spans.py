@@ -90,6 +90,39 @@ class TestTelemetry:
                 pass
         assert set(tel.phase_seconds(depth=None)) == {"a", "b"}
 
+    def test_add_span_nests_under_open_span(self):
+        # an externally measured interval (e.g. a shard's kernel time
+        # accumulated inside a worker process) lands as a child of the
+        # currently open span, its start back-computed from its duration
+        tel = Telemetry(clock=FakeClock())
+        with tel.span("sim_loop"):
+            tel.add_span("shard0", 0.25)
+            tel.add_span("shard1", 0.5)
+        recs = {r.name: r for r in tel.records()}
+        assert recs["shard0"].path == "sim_loop/shard0"
+        assert recs["shard0"].depth == 1
+        assert recs["shard0"].duration_s == 0.25
+        assert recs["shard1"].duration_s == 0.5
+        assert recs["shard0"].seq < recs["shard1"].seq < recs["sim_loop"].seq
+
+    def test_add_span_at_top_level_and_clamped_start(self):
+        tel = Telemetry(clock=FakeClock())
+        # duration longer than the telemetry's lifetime: start clamps to 0
+        tel.add_span("imported", 99.0)
+        (rec,) = tel.records()
+        assert rec.path == "imported" and rec.depth == 0
+        assert rec.start_s == 0.0 and rec.duration_s == 99.0
+
+    def test_add_span_counts_toward_phase_seconds(self):
+        tel = Telemetry(clock=FakeClock())
+        mark = tel.mark()
+        tel.add_span("reconcile", 0.125)
+        assert tel.phase_seconds(since=mark) == {"reconcile": 0.125}
+
+    def test_null_add_span_is_noop(self):
+        NULL.add_span("anything", 1.0)
+        assert NULL.records() == []
+
     def test_records_returns_copy(self):
         tel = Telemetry(clock=FakeClock())
         with tel.span("x"):

@@ -23,7 +23,7 @@ class TestPipelines:
     def test_registry_covers_all_backends(self):
         assert set(PIPELINES) == {
             "lic-reference", "lic-fast", "lid-reference", "lid-fast",
-            "lid-resilient",
+            "lid-sharded", "lid-resilient",
         }
         assert REFERENCE_PIPELINE in DEFAULT_PIPELINES
 
@@ -50,7 +50,7 @@ class TestRunDifferential:
         assert report.ok, report.summary()
         assert set(report.runs) == set(DEFAULT_PIPELINES)
         edges = {r.edge_set() for r in report.runs.values()}
-        assert len(edges) == 1  # all five pipelines, one edge set
+        assert len(edges) == 1  # all six pipelines, one edge set
 
     @settings(max_examples=15, deadline=None)
     @given(preference_systems(max_n=7))
