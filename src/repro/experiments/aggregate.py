@@ -7,10 +7,13 @@ and ``benchmarks/results/`` — one command regenerates everything
 
 Determinism contract: the canonical outputs (``report.md`` and
 ``summary.csv``) are pure functions of the cell *coordinates* — every
-wall-clock field (suffix ``"_ms"``) is excluded — so a resumed run
-reports byte-identically to an uninterrupted one.  ``cells.csv`` keeps
-the raw records *including* timings and is explicitly not part of that
-contract.
+machine-dependent field (the reserved suffixes of
+:data:`repro.telemetry.sink.NONDETERMINISTIC_SUFFIXES`: ``_ms``,
+``_kb``, ``_per_s``, ``_x``) and every scheduling observable
+(:data:`NONCANONICAL_FIELDS`, e.g. the watchdog's ``retries`` count)
+is excluded — so a resumed run reports byte-identically to an
+uninterrupted one.  ``cells.csv`` keeps the raw records *including*
+timings and is explicitly not part of that contract.
 """
 
 from __future__ import annotations
@@ -22,9 +25,11 @@ from repro.experiments.grid import GridStore
 from repro.experiments.gridspec import GridSpec
 from repro.experiments.runner import aggregate
 from repro.experiments.reporting import write_csv
+from repro.telemetry.sink import NONDETERMINISTIC_SUFFIXES
 
 __all__ = [
     "GridIncompleteError",
+    "NONCANONICAL_FIELDS",
     "collect_records",
     "grid_status",
     "render_report",
@@ -37,7 +42,13 @@ COORDS = ("engine", "family", "n", "b", "churn", "fault", "seed")
 GROUP_BY = [c for c in COORDS if c != "seed"]
 
 #: wall-clock fields carry this suffix and never enter canonical outputs
+#: (kept as an alias of the narrow historical rule; the full exclusion
+#: set is NONDETERMINISTIC_SUFFIXES, shared with the telemetry sink)
 TIMING_SUFFIX = "_ms"
+
+#: run-shape observables that are not metrics of the cell coordinates
+#: (e.g. how many watchdog retries a cell needed on this machine)
+NONCANONICAL_FIELDS = ("retries",)
 
 #: metrics reduced to their worst case over seeds rather than the mean
 WORST_CASE = {"ratio": min, "lid_equals_lic": min, "valid": min,
@@ -83,13 +94,20 @@ def collect_records(
 
 
 def _metric_fields(records: Iterable[Mapping]) -> list[str]:
-    """Aggregatable metric fields, first-seen order, timings excluded."""
+    """Aggregatable metric fields, first-seen order.
+
+    Excludes coordinates, every machine-dependent suffix (``_ms``,
+    ``_kb``, ``_per_s``, ``_x``) and the explicit non-canonical
+    scheduling fields such as ``retries``.
+    """
     fields: list[str] = []
     for rec in records:
         for key, value in rec.items():
             if key in COORDS or key in fields:
                 continue
-            if key.endswith(TIMING_SUFFIX):
+            if key.endswith(NONDETERMINISTIC_SUFFIXES):
+                continue
+            if key in NONCANONICAL_FIELDS:
                 continue
             if isinstance(value, (bool, int, float)):
                 fields.append(key)

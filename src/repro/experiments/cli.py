@@ -24,6 +24,12 @@ Entry point (installed via ``python -m repro``):
   ranking → LID, end to end;
 - ``python -m repro churn --n 50 --events 20``      — a churn session
   with exact incremental repair;
+- ``python -m repro serve --n 100 --events 200``    — the long-lived
+  self-healing matching service: workload replay with budgeted
+  incremental repair, crash-consistent checkpoints, runtime invariant
+  guards and sampled differential conformance checks; ``--smoke`` is
+  the service-smoke CI gate (kill-and-resume bit-identity + zero
+  invariant violations, non-zero exit otherwise);
 - ``python -m repro list``                          — the experiment
   inventory (ids, claims, bench files).
 """
@@ -270,7 +276,8 @@ def _cmd_grid(args) -> int:
             print(f"[{done[0]}/{total}] {cell.cell_id}: {status}")
 
         result = run_grid(spec, store=store, workers=args.workers,
-                          progress=progress, telemetry=args.telemetry)
+                          progress=progress, telemetry=args.telemetry,
+                          cell_timeout=args.cell_timeout)
         _print_grid_summary(spec, result.records)
         print(f"store: {store.root}  ({result.executed} executed,"
               f" {result.reused} reused)")
@@ -476,6 +483,81 @@ def _cmd_churn(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, kill_and_resume_check, run_service
+
+    smoke = args.smoke
+    config = ServiceConfig(
+        n=args.n if args.n is not None else (500 if smoke else 100),
+        quota=args.quota,
+        family=args.family,
+        seed=args.seed,
+        events=args.events if args.events is not None else 200,
+        workload=args.workload,
+        repair_budget=args.budget,
+        on_budget=args.on_budget,
+        checkpoint_every=args.checkpoint_every,
+        differential_every=args.differential_every,
+    )
+
+    if smoke:
+        # the service-smoke CI gate: run the trace uninterrupted, run it
+        # again killed mid-flight and resumed from the last checkpoint,
+        # and require (a) byte-identical deterministic reports, (b) all
+        # differential conformance checks pass, (c) zero invariant
+        # violations end to end
+        out = kill_and_resume_check(config)
+        rep = out["report"]
+        print(f"service-smoke: n={config.n} events={config.events}"
+              f" workload={config.workload} trace={rep['trace_fingerprint']}")
+        print(f"kill-and-resume: killed at event {out['kill_after']},"
+              f" identical={out['identical']}"
+              + (f", mismatched fields: {out['mismatches']}"
+                 if out["mismatches"] else ""))
+        print(f"differential checks ok: {out['differential_ok']};"
+              f" invariant violations: {out['guard_violations']};"
+              f" final mode: {rep['final_mode']}")
+        ok = (out["identical"] and out["differential_ok"]
+              and out["guard_violations"] == 0)
+        print("service-smoke PASS" if ok else "service-smoke FAIL")
+        return 0 if ok else 1
+
+    result = run_service(
+        config,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+        kill_after=args.kill_after,
+    )
+    r = result.report
+    print(f"service: {config.workload} x{r['trace_events']} events on"
+          f" n={config.n} {config.family} (trace {r['trace_fingerprint']})")
+    print(f"applied through event {r['applied_through']}"
+          + (" (killed)" if not r["completed"] else "")
+          + f"; {r['final_n']} peers alive, mode {r['final_mode']}")
+    print(f"churn: {r['joins']} joins / {r['leaves']} leaves /"
+          f" {r['crashes']} crashes / {r['updates']} updates"
+          f" ({r['skipped']} skipped)")
+    print(f"repair: {r['resolutions']} resolutions,"
+          f" {r['truncated_repairs']} truncated,"
+          f" {r['full_resolves']} full re-solves,"
+          f" cache {r['weights_reused']} reused /"
+          f" {r['weights_recomputed']} recomputed")
+    print(f"rates: {r['events_per_s']:.1f} events/s,"
+          f" mean repair {r['mean_repair_ms']:.2f} ms"
+          + (f", incremental vs full x{r['speedup_vs_full_x']:.1f}"
+             if r["speedup_vs_full_x"] else ""))
+    if r["completed"]:
+        print(f"conformance: blocking edges {r['blocking_edges']},"
+              f" matches fresh solve: {r['matches_fresh_solve']},"
+              f" differential ok: {r['differential_ok']};"
+              f" satisfaction {r['sat_total']:.2f}")
+    print(f"guards: {r['guard_violations']} violations,"
+          f" {r['degraded_entries']} degraded entries")
+    if args.checkpoint:
+        print(f"checkpoints: {args.checkpoint}")
+    return 0 if (r["differential_ok"] and r["guard_violations"] == 0) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -564,6 +646,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="instrument executed cells (spans, convergence"
                                  " probes, resource profile) and persist one"
                                  " telemetry/<cell_id>.jsonl per cell")
+            gp.add_argument("--cell-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="hung-cell watchdog: kill a cell exceeding"
+                                 " this wall-clock budget and retry it once;"
+                                 " a second timeout records the cell as"
+                                 " ok=false/error=timeout")
         gp.set_defaults(fn=_cmd_grid)
 
     _grid_common(gsub.add_parser(
@@ -638,6 +726,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_discover)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived matching service: churn workload replay with"
+             " budgeted incremental repair, crash-consistent checkpoints"
+             " and runtime invariant guards",
+    )
+    from repro.experiments.gridspec import SERVICE_WORKLOADS
+
+    p.add_argument("--n", type=int, default=None,
+                   help="initial overlay size (default 100; 500 with --smoke)")
+    p.add_argument("--events", type=int, default=None,
+                   help="workload-trace length (default 200)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workload", choices=sorted(SERVICE_WORKLOADS),
+                   default="poisson",
+                   help="churn driver: memoryless mix, flash crowd,"
+                        " diurnal cycle, or adversarial join/leave storms")
+    p.add_argument("--quota", type=int, default=3,
+                   help="per-peer connection quota b_i")
+    p.add_argument("--family", choices=sorted(FAMILIES), default="geo",
+                   help="initial-topology family")
+    p.add_argument("--budget", type=int, default=None,
+                   help="max blocking-edge resolutions per incremental"
+                        " repair (default: unbounded, exact LIC fixpoint)")
+    p.add_argument("--on-budget", choices=["resolve", "defer"],
+                   default="resolve",
+                   help="when a repair truncates: full re-solve (exact)"
+                        " or serve the feasible truncated matching"
+                        " (almost-stable)")
+    p.add_argument("--differential-every", type=int, default=50,
+                   help="conformance-check the served state against a"
+                        " from-scratch solve every K events (0 = only at"
+                        " the end)")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="write crash-consistent versioned snapshots into"
+                        " DIR (atomic, torn files ignored on restore)")
+    p.add_argument("--checkpoint-every", type=int, default=25,
+                   help="snapshot cadence in events")
+    p.add_argument("--resume", action="store_true",
+                   help="restore from the newest intact checkpoint in"
+                        " --checkpoint DIR and replay the remaining events")
+    p.add_argument("--kill-after", type=int, default=None, metavar="K",
+                   help="stop abruptly after K events with no final"
+                        " snapshot (simulates a crash; resume with"
+                        " --resume)")
+    p.add_argument("--smoke", action="store_true",
+                   help="the service-smoke CI gate: kill-and-resume"
+                        " bit-identity + zero invariant violations on a"
+                        " n=500 trace; non-zero exit on failure")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("churn", help="churn session with incremental repair")
     p.add_argument("--n", type=int, default=50)

@@ -20,7 +20,9 @@ stores automatically.
 
 Every record is ``cell coordinates + engine metrics + "ok"``.  All
 metric fields are deterministic functions of the cell coordinates
-except wall-clock timings, which by convention end in ``"_ms"`` and are
+except machine-dependent ones, which by convention carry a reserved
+suffix (``_ms``/``_kb``/``_per_s``/``_x``) or are listed in
+``aggregate.NONCANONICAL_FIELDS`` (the watchdog's ``retries``) and are
 excluded from the canonical aggregate (so an interrupted-and-resumed
 run reports byte-identically to an uninterrupted one — asserted in
 ``tests/experiments/test_grid.py``).
@@ -30,7 +32,7 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Optional
@@ -55,6 +57,7 @@ from repro.telemetry.spans import NULL, Telemetry
 from repro.utils.rng import spawn_rng
 
 __all__ = [
+    "CellTimeout",
     "GridRunResult",
     "GridStore",
     "StaleStoreError",
@@ -67,6 +70,10 @@ STORE_VERSION = 1
 
 class StaleStoreError(RuntimeError):
     """A result store keyed by a different spec hash was reused."""
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded the per-cell wall-clock budget (picklable)."""
 
 
 # ---------------------------------------------------------------------
@@ -290,6 +297,36 @@ def _run_churn(spec: GridSpec, cell: GridCell, tel=NULL) -> dict:
     }
 
 
+def _run_service(spec: GridSpec, cell: GridCell, tel=NULL) -> dict:
+    """The long-lived ``lid-service`` engine: replay a churn workload.
+
+    ``cell.churn`` is the trace length; workload shape, repair budget
+    and differential-check cadence come from the spec's ``service_*``
+    knobs.  A cell is healthy when the trace completes and every
+    sampled differential check conforms (exactly, or within the
+    documented truncation-debt bound in deferred-budget setups).
+    """
+    from repro.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        n=cell.n,
+        quota=cell.b,
+        family=cell.family,
+        seed=cell.seed,
+        events=cell.churn,
+        workload=spec.service_workload,
+        backend=engine_backend(cell.engine),
+        repair_budget=spec.service_budget,
+        differential_every=spec.service_differential_every,
+    )
+    record = dict(run_service(config, telemetry=tel).report)
+    # the cell coordinates already carry these
+    for dup in ("engine", "family", "seed", "quota", "n0"):
+        record.pop(dup, None)
+    record["ok"] = bool(record["completed"] and record["differential_ok"])
+    return record
+
+
 def _run_resilient(spec: GridSpec, cell: GridCell, tel=NULL,
                    probe=None) -> dict:
     from repro.distsim.metrics import SimMetrics
@@ -371,6 +408,8 @@ def run_grid_cell(spec: GridSpec, cell: GridCell,
     with tel.span("cell"):
         if cell.engine == "resilient":
             metrics = _run_resilient(spec, cell, tel=tel, probe=probe)
+        elif cell.engine == "lid-service":
+            metrics = _run_service(spec, cell, tel=tel)
         elif cell.churn:
             metrics = _run_churn(spec, cell, tel=tel)
         else:
@@ -388,9 +427,54 @@ def run_grid_cell(spec: GridSpec, cell: GridCell,
     return record
 
 
-def _cell_job(spec: GridSpec, cell: GridCell, telemetry: bool = False) -> dict:
-    """Module-level shim so cells survive pickling to worker processes."""
-    return run_grid_cell(spec, cell, telemetry=telemetry)
+def _cell_job(
+    spec: GridSpec,
+    cell: GridCell,
+    telemetry: bool = False,
+    timeout: Optional[float] = None,
+) -> dict:
+    """Module-level shim so cells survive pickling to worker processes.
+
+    With a ``timeout`` the cell runs under a worker-side wall-clock
+    watchdog: ``SIGALRM``/``setitimer`` interrupts a hung cell and
+    raises the picklable :class:`CellTimeout` back to the driver.  The
+    alarm needs a main-thread POSIX process — elsewhere (Windows,
+    worker threads) the watchdog degrades to an unguarded run rather
+    than failing.
+    """
+    import signal
+    import threading
+
+    if (
+        timeout is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return run_grid_cell(spec, cell, telemetry=telemetry)
+
+    def _alarm(signum, frame):
+        raise CellTimeout(
+            f"cell {cell.cell_id} exceeded its {timeout:g}s budget"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return run_grid_cell(spec, cell, telemetry=telemetry)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+def _timeout_record(cell: GridCell, retries: int, exc: CellTimeout) -> dict:
+    """The persisted record for a cell that timed out twice."""
+    return {
+        **cell.coords(),
+        "ok": False,
+        "error": "timeout",
+        "error_detail": str(exc),
+        "retries": retries,
+    }
 
 
 def _pool_init() -> None:
@@ -436,6 +520,7 @@ def run_grid(
     workers: Optional[int] = None,
     progress: Optional[Callable[[GridCell, dict], None]] = None,
     telemetry: bool = False,
+    cell_timeout: Optional[float] = None,
 ) -> GridRunResult:
     """Run every missing cell of ``spec``; reuse completed ones.
 
@@ -455,7 +540,16 @@ def run_grid(
     cells reused from a previous run keep whatever telemetry (if any)
     that run wrote.  The cell records themselves are unaffected — the
     spec hash, and therefore store identity, does not depend on it.
+
+    ``cell_timeout`` (seconds) arms a per-cell hung-cell watchdog: a
+    cell that exceeds the budget is killed by an in-worker alarm and
+    retried exactly once; a second timeout persists an ``ok=False``
+    record with ``error="timeout"``.  Executed cells record how many
+    retries they needed under ``"retries"`` — a scheduling observable,
+    excluded from the canonical aggregate like all non-metric fields.
     """
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
     if store is not None and not isinstance(store, GridStore):
         store = GridStore(store)
     if store is not None:
@@ -484,13 +578,39 @@ def run_grid(
     if workers is not None and workers > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=workers,
                                  initializer=_pool_init) as pool:
-            futures = {pool.submit(_cell_job, spec, c, telemetry): c
-                       for c in pending}
-            for fut in as_completed(futures):
-                finish(futures[fut], fut.result())
+            futures = {pool.submit(_cell_job, spec, c, telemetry, cell_timeout):
+                       (c, 0) for c in pending}
+            while futures:
+                ready, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for fut in ready:
+                    cell, attempts = futures.pop(fut)
+                    try:
+                        record = fut.result()
+                    except CellTimeout as exc:
+                        if attempts >= 1:
+                            finish(cell, _timeout_record(cell, attempts, exc))
+                        else:
+                            retry = pool.submit(_cell_job, spec, cell,
+                                                telemetry, cell_timeout)
+                            futures[retry] = (cell, attempts + 1)
+                        continue
+                    record["retries"] = attempts
+                    finish(cell, record)
     else:
         for cell in pending:
-            finish(cell, run_grid_cell(spec, cell, telemetry=telemetry))
+            attempts = 0
+            while True:
+                try:
+                    record = _cell_job(spec, cell, telemetry, cell_timeout)
+                except CellTimeout as exc:
+                    if attempts >= 1:
+                        finish(cell, _timeout_record(cell, attempts, exc))
+                        break
+                    attempts += 1
+                    continue
+                record["retries"] = attempts
+                finish(cell, record)
+                break
 
     records = [by_id[c.cell_id] for c in cells]
     return GridRunResult(spec=spec, records=records,

@@ -29,11 +29,13 @@ Axes
 - ``seeds`` — replications; the seed is the root of every cell RNG.
 
 Not every coordinate combination is meaningful; :meth:`GridSpec.cells`
-expands only the *compatible* subset under three documented rules:
+expands only the *compatible* subset under the documented rules:
 faults run exclusively on the ``resilient`` engine (and the resilient
 engine only on the ``er`` family, matching the fault campaign's
-instance model), and churn runs exclusively on the ``lic-*`` engines
-(the incremental-repair pipelines).
+instance model), and churn runs exclusively on the churn-consuming
+engines — the incremental-repair ``lic-*`` pipelines and the
+long-lived ``lid-service`` (for which the churn count is the workload
+trace length, so it requires churn > 0).
 """
 
 from __future__ import annotations
@@ -48,11 +50,13 @@ from typing import Mapping, Optional
 from repro.experiments.instances import FAMILIES
 
 __all__ = [
+    "CHURN_ENGINES",
     "ENGINES",
     "FaultSpec",
     "GridCell",
     "GridSpec",
     "PROFILES",
+    "SERVICE_WORKLOADS",
     "engine_backend",
     "load_spec",
 ]
@@ -63,6 +67,7 @@ ENGINES = (
     "lid-reference",
     "lid-fast",
     "lid-sharded",
+    "lid-service",
     "resilient",
 )
 
@@ -70,12 +75,23 @@ ENGINES = (
 LIC_ENGINES = ("lic-reference", "lic-fast")
 #: engines that run the distributed LID protocol
 LID_ENGINES = ("lid-reference", "lid-fast", "lid-sharded")
+#: engines that consume the churn axis (event-count interpretation)
+CHURN_ENGINES = LIC_ENGINES + ("lid-service",)
+
+#: workloads the lid-service engine accepts (mirrors
+#: ``repro.service.events.WORKLOADS``; kept literal here so spec
+#: validation never imports the service package — asserted equal in
+#: tests/experiments/test_gridspec.py)
+SERVICE_WORKLOADS = ("poisson", "flash", "diurnal", "storm")
 
 
 def engine_backend(engine: str) -> str:
     """The ``reference``/``fast``/``sharded`` backend behind an engine name."""
     if engine == "resilient":
         return "reference"
+    if engine == "lid-service":
+        # the long-lived service defaults to the cached fast pipeline
+        return "fast"
     return engine.split("-", 1)[1]
 
 
@@ -231,6 +247,9 @@ class GridSpec:
     suspect_after: float = 5.0
     partition_start: float = 3.0
     backoff: Optional[tuple] = None
+    service_workload: str = "poisson"
+    service_budget: Optional[int] = None
+    service_differential_every: int = 50
 
     def __post_init__(self):
         # normalise axis containers to tuples so specs hash and pickle
@@ -275,6 +294,20 @@ class GridSpec:
                 "density/degree specify an Erdős–Rényi edge probability:"
                 f" families must be ('er',), got {self.families}"
             )
+        if self.service_workload not in SERVICE_WORKLOADS:
+            raise ValueError(
+                f"unknown service workload {self.service_workload!r};"
+                f" known: {SERVICE_WORKLOADS}"
+            )
+        if self.service_budget is not None and self.service_budget < 0:
+            raise ValueError(
+                f"service_budget must be >= 0, got {self.service_budget}"
+            )
+        if self.service_differential_every < 0:
+            raise ValueError(
+                "service_differential_every must be >= 0, got"
+                f" {self.service_differential_every}"
+            )
 
     # -- compatibility rules -------------------------------------------
 
@@ -283,13 +316,17 @@ class GridSpec:
 
         Faults run only on the resilient engine; the resilient engine
         runs only on the ``er`` family with no churn; churn runs only on
-        the incremental ``lic-*`` pipelines.
+        the churn-consuming engines (the incremental ``lic-*`` pipelines
+        and the long-lived ``lid-service``, which reads the churn count
+        as its workload-trace length and therefore *requires* churn).
         """
         if cell.fault != "none" and cell.engine != "resilient":
             return False
         if cell.engine == "resilient" and (cell.family != "er" or cell.churn):
             return False
-        if cell.churn and cell.engine not in LIC_ENGINES:
+        if cell.churn and cell.engine not in CHURN_ENGINES:
+            return False
+        if cell.engine == "lid-service" and not cell.churn:
             return False
         return True
 

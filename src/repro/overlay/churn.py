@@ -27,7 +27,7 @@ compares against the from-scratch re-run (the results are verified
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.core.backend import resolve_backend_name
 from repro.core.fast import FastInstance, lic_matching_fast
@@ -65,6 +65,14 @@ class RepairStats:
         the whole table).
     weights_recomputed:
         Eq.-9 edge weights actually recomputed for this event.
+    truncated:
+        The repair stopped because its ``budget`` ran out before the
+        no-blocking-edge fixpoint was reached (the caller decides
+        whether to full-re-solve or serve the almost-stable state).
+    stale_dropped:
+        Matched edges scrubbed because one endpoint departed the
+        instance (or the edge itself vanished) since the matching was
+        built — the "leaving while still listed" churn race.
     """
 
     resolutions: int = 0
@@ -72,6 +80,8 @@ class RepairStats:
     edges_scanned: int = 0
     weights_reused: int = 0
     weights_recomputed: int = 0
+    truncated: bool = False
+    stale_dropped: int = 0
 
 
 class WeightCache:
@@ -154,10 +164,11 @@ class WeightCache:
 
 def greedy_repair(
     wt: WeightTable,
-    quotas: list[int],
+    quotas: "list[int] | Sequence[int]",
     matching: Matching,
-    dirty: set[int],
+    dirty: "set[int] | Iterable[int]",
     max_steps: int = 1_000_000,
+    budget: Optional[int] = None,
 ) -> RepairStats:
     """Restore the no-weighted-blocking-edge fixpoint from a local change.
 
@@ -173,9 +184,52 @@ def greedy_repair(
     each resolution strictly improves the lexicographic profile of both
     endpoints (standard acyclic-potential argument for globally ranked
     preferences).
+
+    Robustness (the contract the long-lived service relies on):
+
+    - Structural input mismatches — ``quotas`` or ``matching`` sized for
+      a different instance than ``wt``, or a negative quota — raise
+      :class:`~repro.utils.validation.InvalidInstanceError` eagerly.
+    - Churn races are *absorbed*, not raised: dirty ids outside the
+      instance (departed peers) are dropped, and matched edges whose
+      weight no longer exists (a partner left while still listed, or an
+      overlay edge vanished) are scrubbed first, their surviving
+      endpoints joining the dirty region (``stats.stale_dropped``).
+    - An empty or fully-departed instance returns a well-formed
+      zero :class:`RepairStats`.
+    - ``budget`` caps the number of resolutions: when it runs out the
+      repair returns the current *feasible* (but possibly still
+      blocking-edge-carrying) matching with ``stats.truncated`` set,
+      instead of raising — the almost-stable degraded mode of
+      Floréen et al. that the service trades against a full re-solve.
     """
+    n = wt.n
+    if len(quotas) != n:
+        raise InvalidInstanceError(
+            f"quotas sized for {len(quotas)} nodes but weight table has {n}"
+        )
+    if matching.n != n:
+        raise InvalidInstanceError(
+            f"matching sized for {matching.n} nodes but weight table has {n}"
+        )
+    if any(q < 0 for q in quotas):
+        raise InvalidInstanceError(f"negative quota in {quotas!r}")
+    if budget is not None and budget < 0:
+        raise InvalidInstanceError(f"repair budget must be >= 0, got {budget}")
+
     stats = RepairStats()
-    dirty = set(dirty)
+    dirty = {v for v in dirty if 0 <= v < n}
+    if n == 0:
+        return stats
+
+    # scrub stale matched edges (endpoint departed / edge withdrawn):
+    # they no longer exist in the instance, so they must neither block
+    # candidate edges nor survive into the repaired matching
+    for a, b in matching.edges():
+        if not wt.has_edge(a, b):
+            matching.remove(a, b)
+            stats.stale_dropped += 1
+            dirty.update((a, b))
 
     def wants(v: int, u: int) -> bool:
         if matching.degree(v) < quotas[v]:
@@ -198,6 +252,11 @@ def greedy_repair(
                         best = k
                         best_edge = (v, u)
         if best_edge is None:
+            break
+        if budget is not None and stats.resolutions >= budget:
+            # a blocking edge remains but the budget is spent: stop with
+            # a feasible almost-stable matching instead of raising
+            stats.truncated = True
             break
         i, j = best_edge
         for v in (i, j):

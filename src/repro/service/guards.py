@@ -1,0 +1,153 @@
+"""Runtime invariant guards for the long-lived matching service.
+
+The service must never *serve* a corrupt matching: the robustness
+contract is checked after every applied event, not just at the end of a
+trace (the same per-transition philosophy as
+:class:`repro.distsim.invariants.InvariantMonitor`, lifted to the
+service's external-id state).  Checks:
+
+- **capacity** — no peer holds more partners than its quota
+  (:func:`repro.testing.oracles.check_quota` over the compact view is
+  the slow-path oracle; the guard checks the same property directly on
+  the external partner sets in O(n));
+- **mutual consent** — every matched edge joins two live peers that are
+  overlay neighbours, and partnership is symmetric;
+- **eq.-9 weight consistency** — a deterministic sample of cached
+  weights must equal a fresh
+  :func:`~repro.core.satisfaction.delta_static` recomputation *exactly*
+  (the cache uses the same scalar arithmetic, so any drift is
+  corruption, not rounding).
+
+A violation does not raise here: the service reads the
+:class:`GuardReport` and demotes itself to degraded full-re-solve mode
+(see ``docs/robustness.md`` for the ladder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.satisfaction import delta_static
+
+__all__ = ["GuardReport", "ServiceGuard"]
+
+
+@dataclass
+class GuardReport:
+    """Outcome of one guard pass."""
+
+    checked_peers: int = 0
+    checked_weights: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ServiceGuard:
+    """Per-event invariant checks over a service's external-id state.
+
+    Parameters
+    ----------
+    weight_sample:
+        Cap on the number of cached edge weights recomputed per pass
+        (edges are taken in sorted key order starting at a cursor that
+        advances every pass, so successive passes sweep the whole
+        cache).  ``0`` disables the weight check.
+    """
+
+    def __init__(self, weight_sample: int = 32):
+        if weight_sample < 0:
+            raise ValueError(f"weight_sample must be >= 0, got {weight_sample}")
+        self.weight_sample = weight_sample
+        self._weight_cursor = 0
+
+    # -- structural invariants -----------------------------------------
+
+    def check_structure(self, service, report: GuardReport) -> None:
+        """Capacity, liveness and mutual consent over the partner sets."""
+        peers = service._peers
+        adj = service._adj
+        partners = service._partners
+        for pid, mine in partners.items():
+            report.checked_peers += 1
+            peer = peers.get(pid)
+            if peer is None:
+                report.violations.append(
+                    f"liveness: departed peer {pid} still holds partners"
+                )
+                continue
+            if len(mine) > peer.quota:
+                report.violations.append(
+                    f"capacity: peer {pid} holds {len(mine)} partners"
+                    f" (quota {peer.quota})"
+                )
+            for q in mine:
+                if q not in peers:
+                    report.violations.append(
+                        f"liveness: peer {pid} matched to departed peer {q}"
+                    )
+                    continue
+                if q not in adj[pid]:
+                    report.violations.append(
+                        f"mutual consent: peer {pid} matched to"
+                        f" non-neighbour {q}"
+                    )
+                if pid not in partners.get(q, ()):
+                    report.violations.append(
+                        f"mutual consent: {pid} ~ {q} is asymmetric"
+                    )
+
+    # -- eq.-9 weight consistency --------------------------------------
+
+    def check_weights(self, service, report: GuardReport) -> None:
+        """Sampled exact recomputation of the incremental weight cache.
+
+        Uses the current compact instance, so it also catches a cache
+        whose entries survived a preference change they should not
+        have.  A no-op on the reference backend (no cache).
+        """
+        if self.weight_sample == 0 or service._wcache is None:
+            return
+        cached = service._wcache._w
+        if not cached:
+            return
+        if service._weight_dirty:
+            # weights incident to dirty peers are *expected* stale until
+            # the next refresh; skip the pass rather than false-alarm
+            return
+        ps, ids, index = service._compact_instance()
+        keys = sorted(cached)
+        start = self._weight_cursor % len(keys)
+        take = min(self.weight_sample, len(keys))
+        self._weight_cursor += take
+        for off in range(take):
+            pa, pb = keys[(start + off) % len(keys)]
+            if pa not in index or pb not in index:
+                report.violations.append(
+                    f"weight cache: entry ({pa}, {pb}) names a departed peer"
+                )
+                continue
+            a, b = index[pa], index[pb]
+            if not ps.has_edge(a, b):
+                report.violations.append(
+                    f"weight cache: entry ({pa}, {pb}) is not an instance edge"
+                )
+                continue
+            report.checked_weights += 1
+            expect = delta_static(ps, a, b) + delta_static(ps, b, a)
+            if cached[(pa, pb)] != expect:
+                report.violations.append(
+                    f"weight drift: cached w({pa},{pb})={cached[(pa, pb)]!r}"
+                    f" but eq. 9 gives {expect!r}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def check(self, service) -> GuardReport:
+        """One full guard pass; never raises."""
+        report = GuardReport()
+        self.check_structure(service, report)
+        self.check_weights(service, report)
+        return report

@@ -1,0 +1,419 @@
+"""The long-lived matching engine: :class:`MatchingService`.
+
+:class:`~repro.overlay.churn.DynamicOverlay` already keeps the unique
+LIC matching alive across single churn events.  The service extends it
+into something deployable:
+
+- **round-budgeted repair** — every event is repaired by a budgeted
+  :func:`~repro.overlay.churn.greedy_repair` warm-started from the
+  surviving matching; when the budget trips, the service either falls
+  back to a full re-solve (``on_budget="resolve"``, the default — the
+  served matching stays exactly LIC) or serves the feasible truncated
+  matching and lets the differential harness bound the gap
+  (``on_budget="defer"``, the almost-stable regime of Floréen et al.);
+- **event application** — :meth:`apply` resolves a self-contained
+  :class:`~repro.service.events.ChurnEvent` against the live overlay,
+  deterministically: victims index the sorted alive-id list with the
+  event's pre-drawn entropy, joiners derive their attachment points
+  from a generator seeded with it;
+- **invariant guards and the degraded-mode ladder** — after every event
+  a :class:`~repro.service.guards.ServiceGuard` pass checks capacity,
+  mutual consent and (sampled) eq.-9 weight consistency.  A violation
+  demotes the service to *degraded* mode: the weight cache is dropped,
+  the matching fully re-solved, and every event is answered by a full
+  re-solve until ``degraded_recovery`` consecutive clean events restore
+  incremental mode.  A violation that survives the full re-solve is
+  unrecoverable and raises :class:`ServiceCorruption`;
+- **snapshots** — :meth:`snapshot` / :meth:`restore` round-trip the
+  entire mutable state (peers, adjacency, partners, weight cache, dirty
+  set, counters, ladder position) through plain JSON types, exactly;
+  :mod:`repro.service.checkpoint` wraps them in versioned atomic files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.overlay.churn import (
+    DynamicOverlay,
+    RepairStats,
+    WeightCache,
+    greedy_repair,
+)
+from repro.overlay.peer import Peer
+from repro.service.events import ChurnEvent
+from repro.service.guards import GuardReport, ServiceGuard
+
+__all__ = ["COUNTERS", "EventOutcome", "MatchingService", "ServiceCorruption"]
+
+#: every counter the service maintains; checkpointed so a resumed run
+#: reports bit-identical totals
+COUNTERS = (
+    "events",
+    "joins",
+    "leaves",
+    "crashes",
+    "updates",
+    "skipped",
+    "resolutions",
+    "stale_dropped",
+    "truncated_repairs",
+    "full_resolves",
+    "guard_violations",
+    "degraded_entries",
+    "weights_reused",
+    "weights_recomputed",
+)
+
+MODES = ("incremental", "degraded")
+
+
+class ServiceCorruption(RuntimeError):
+    """An invariant violation survived the degraded-mode full re-solve."""
+
+
+@dataclass
+class EventOutcome:
+    """What one :meth:`MatchingService.apply` call did."""
+
+    seq: int
+    kind: str
+    applied: bool
+    peer_id: Optional[int]
+    stats: Optional[RepairStats]
+    guard_ok: bool
+    mode: str
+    n: int
+
+
+class MatchingService(DynamicOverlay):
+    """A :class:`DynamicOverlay` hardened for unattended operation.
+
+    Parameters
+    ----------
+    repair_budget:
+        Max blocking-edge resolutions per incremental repair; ``None``
+        means unbounded (repair always runs to the exact LIC fixpoint).
+    on_budget:
+        ``"resolve"`` (default) falls back to a full re-solve when a
+        repair truncates; ``"defer"`` serves the feasible truncated
+        matching (almost-stable mode).
+    weight_check_every:
+        Run the (compaction-priced) eq.-9 weight-consistency guard on
+        every k-th event; structural guards run on every event.
+    degraded_recovery:
+        Consecutive clean events required to climb back from degraded
+        to incremental mode.
+    """
+
+    def __init__(
+        self,
+        topology,
+        peers: list[Peer],
+        metric,
+        backend: str = "fast",
+        repair_budget: Optional[int] = None,
+        on_budget: str = "resolve",
+        weight_check_every: int = 8,
+        degraded_recovery: int = 8,
+        guard: Optional[ServiceGuard] = None,
+    ):
+        if on_budget not in ("resolve", "defer"):
+            raise ValueError(
+                f"on_budget must be 'resolve' or 'defer', got {on_budget!r}"
+            )
+        if repair_budget is not None and repair_budget < 0:
+            raise ValueError(f"repair_budget must be >= 0, got {repair_budget}")
+        if weight_check_every < 1:
+            raise ValueError(
+                f"weight_check_every must be >= 1, got {weight_check_every}"
+            )
+        if degraded_recovery < 1:
+            raise ValueError(
+                f"degraded_recovery must be >= 1, got {degraded_recovery}"
+            )
+        self.repair_budget = repair_budget
+        self.on_budget = on_budget
+        self.weight_check_every = weight_check_every
+        self.degraded_recovery = degraded_recovery
+        self.guard = guard if guard is not None else ServiceGuard()
+        self.mode = "incremental"
+        self._cooldown = 0
+        self.truncated_since_sync = 0
+        self.counters: dict[str, int] = {k: 0 for k in COUNTERS}
+        super().__init__(topology, peers, metric, backend=backend)
+
+    # -- repair --------------------------------------------------------
+
+    def full_rematch(self) -> None:
+        super().full_rematch()
+        # a from-scratch solve is exactly LIC: any almost-stable debt
+        # accumulated by deferred truncations is repaid here
+        self.truncated_since_sync = 0
+
+    def _repair(self, dirty_external: "set[int] | Iterable[int]") -> RepairStats:
+        if self.mode == "degraded":
+            # distrust incremental state wholesale until the ladder
+            # releases us
+            self.full_rematch()
+            self.counters["full_resolves"] += 1
+            return RepairStats()
+        expanded = set(dirty_external)
+        for pid in dirty_external:
+            expanded.update(self._adj.get(pid, ()))
+        ps, ids, index = self._compact_instance()
+        wt, reused, recomputed = self._weights(ps, ids)
+        matching = self._matching_compact(index)
+        dirty = {index[pid] for pid in expanded if pid in index}
+        stats = greedy_repair(
+            wt,
+            list(ps.quotas),
+            matching,
+            dirty,
+            budget=self.repair_budget,
+        )
+        stats.weights_reused = reused
+        stats.weights_recomputed = recomputed
+        self.counters["resolutions"] += stats.resolutions
+        self.counters["stale_dropped"] += stats.stale_dropped
+        self.counters["weights_reused"] += reused
+        self.counters["weights_recomputed"] += recomputed
+        if stats.truncated:
+            self.counters["truncated_repairs"] += 1
+            if self.on_budget == "resolve":
+                self.full_rematch()
+                self.counters["full_resolves"] += 1
+                return stats
+            self.truncated_since_sync += 1
+        matching.validate(ps)
+        self._store_matching(matching, ids)
+        return stats
+
+    # -- churn beyond join/leave ---------------------------------------
+
+    def update_position(
+        self, peer_id: int, position, repair: bool = True
+    ) -> RepairStats:
+        """Move a peer; its whole neighbourhood re-ranks.
+
+        A position change re-scores ``peer_id`` in every neighbour's
+        list, which can shift the ranks of the neighbours' *other*
+        candidates too — so every edge incident to ``{peer_id} ∪
+        N(peer_id)`` is weight-dirty, not just the moved peer's own.
+        """
+        if peer_id not in self._peers:
+            raise KeyError(f"unknown peer {peer_id}")
+        self._peers[peer_id].position = np.asarray(position, dtype=float)
+        dirty = {peer_id} | self._adj[peer_id]
+        self._weight_dirty |= dirty
+        if not repair:
+            return RepairStats()
+        return self._repair(dirty_external=dirty)
+
+    def crash(self, peer_id: int, repair: bool = True) -> RepairStats:
+        """An ungraceful departure.
+
+        The state transition is identical to :meth:`leave` — the
+        overlay only ever observes absence — but callers account for it
+        separately (see the ``crashes`` counter).
+        """
+        return self.leave(peer_id, repair=repair)
+
+    # -- event application ---------------------------------------------
+
+    def apply(self, event: ChurnEvent) -> EventOutcome:
+        """Apply one trace event; deterministic in ``(event, state)``."""
+        self.counters["events"] += 1
+        alive = self.active_ids()
+        applied = True
+        stats: Optional[RepairStats] = None
+        pid: Optional[int] = None
+        if event.kind == "join":
+            peer = Peer(
+                peer_id=-1,
+                position=np.asarray(event.position, dtype=float),
+                quota=max(1, event.quota),
+            )
+            k = min(max(0, event.degree), len(alive))
+            if k > 0:
+                rng = np.random.default_rng(event.r)
+                picks = rng.choice(len(alive), size=k, replace=False)
+                neigh = [alive[int(i)] for i in sorted(picks)]
+            else:
+                neigh = []
+            pid, stats = self.join(peer, neigh)
+            self.counters["joins"] += 1
+        elif event.kind in ("leave", "crash"):
+            if not alive:
+                applied = False
+            else:
+                pid = alive[event.r % len(alive)]
+                stats = self.crash(pid) if event.kind == "crash" else self.leave(pid)
+                self.counters["crashes" if event.kind == "crash" else "leaves"] += 1
+        elif event.kind == "update":
+            if not alive:
+                applied = False
+            else:
+                pid = alive[event.r % len(alive)]
+                stats = self.update_position(pid, event.position)
+                self.counters["updates"] += 1
+        else:  # pragma: no cover - ChurnEvent validates kinds
+            raise ValueError(f"unknown event kind {event.kind!r}")
+        if not applied:
+            self.counters["skipped"] += 1
+        guard_ok = self._guard_pass()
+        return EventOutcome(
+            seq=event.seq,
+            kind=event.kind,
+            applied=applied,
+            peer_id=pid,
+            stats=stats,
+            guard_ok=guard_ok,
+            mode=self.mode,
+            n=self.n,
+        )
+
+    # -- the invariant → degraded-mode ladder --------------------------
+
+    def _guard_pass(self) -> bool:
+        report = GuardReport()
+        self.guard.check_structure(self, report)
+        if self.counters["events"] % self.weight_check_every == 0:
+            self.guard.check_weights(self, report)
+        if report.ok:
+            if self.mode == "degraded":
+                self._cooldown -= 1
+                if self._cooldown <= 0:
+                    self.mode = "incremental"
+            return True
+        self._enter_degraded(report)
+        return False
+
+    def _enter_degraded(self, report: GuardReport) -> None:
+        self.counters["guard_violations"] += len(report.violations)
+        if self.mode != "degraded":
+            self.counters["degraded_entries"] += 1
+        self.mode = "degraded"
+        self._cooldown = self.degraded_recovery
+        if self._wcache is not None:
+            # the cache is a suspect in any corruption: rebuild it from
+            # scratch along with the matching
+            self._wcache._w.clear()
+            self._weight_dirty.clear()
+        self.full_rematch()
+        self.counters["full_resolves"] += 1
+        recheck = GuardReport()
+        self.guard.check_structure(self, recheck)
+        self.guard.check_weights(self, recheck)
+        if not recheck.ok:
+            raise ServiceCorruption(
+                "invariant violations survived a full re-solve: "
+                + "; ".join(recheck.violations[:5])
+            )
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The full mutable state as plain JSON types.
+
+        Floats survive a JSON round-trip exactly in Python, so a
+        restored service is *bit*-identical, not approximately equal.
+        """
+        return {
+            "backend": self.backend,
+            "next_id": self._next_id,
+            "mode": self.mode,
+            "cooldown": self._cooldown,
+            "truncated_since_sync": self.truncated_since_sync,
+            "guard_cursor": self.guard._weight_cursor,
+            "counters": dict(self.counters),
+            "peers": [
+                {
+                    "peer_id": p.peer_id,
+                    "position": [float(x) for x in p.position],
+                    "interests": [float(x) for x in p.interests],
+                    "bandwidth": float(p.bandwidth),
+                    "reliability": float(p.reliability),
+                    "quota": int(p.quota),
+                }
+                for _, p in sorted(self._peers.items())
+            ],
+            "adjacency": {
+                str(pid): sorted(self._adj[pid]) for pid in sorted(self._adj)
+            },
+            "partners": {
+                str(pid): sorted(v) for pid, v in sorted(self._partners.items())
+            },
+            "weight_dirty": sorted(self._weight_dirty),
+            "weights": (
+                None
+                if self._wcache is None
+                else [
+                    [a, b, w] for (a, b), w in sorted(self._wcache._w.items())
+                ]
+            ),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict,
+        metric,
+        repair_budget: Optional[int] = None,
+        on_budget: str = "resolve",
+        weight_check_every: int = 8,
+        degraded_recovery: int = 8,
+        guard: Optional[ServiceGuard] = None,
+    ) -> "MatchingService":
+        """Rebuild a service from :meth:`snapshot` output.
+
+        The metric is *not* checkpointed — it must be reconstructed by
+        the caller from its own parameters (the runner derives it from
+        the service config seed), exactly as at first construction.
+        """
+        svc = cls.__new__(cls)
+        svc.backend = str(state["backend"])
+        svc.repair_budget = repair_budget
+        svc.on_budget = on_budget
+        svc.weight_check_every = weight_check_every
+        svc.degraded_recovery = degraded_recovery
+        svc.guard = guard if guard is not None else ServiceGuard()
+        svc.guard._weight_cursor = int(state["guard_cursor"])
+        svc.mode = str(state["mode"])
+        if svc.mode not in MODES:
+            raise ValueError(f"corrupt snapshot: unknown mode {svc.mode!r}")
+        svc._cooldown = int(state["cooldown"])
+        svc.truncated_since_sync = int(state["truncated_since_sync"])
+        svc.counters = {k: int(state["counters"].get(k, 0)) for k in COUNTERS}
+        svc.metric = metric
+        svc._peers = {
+            int(rec["peer_id"]): Peer(
+                peer_id=int(rec["peer_id"]),
+                position=np.asarray(rec["position"], dtype=float),
+                interests=np.asarray(rec["interests"], dtype=float),
+                bandwidth=float(rec["bandwidth"]),
+                reliability=float(rec["reliability"]),
+                quota=int(rec["quota"]),
+            )
+            for rec in state["peers"]
+        }
+        svc._adj = {
+            int(pid): {int(q) for q in qs}
+            for pid, qs in state["adjacency"].items()
+        }
+        svc._partners = {
+            int(pid): {int(q) for q in qs}
+            for pid, qs in state["partners"].items()
+        }
+        svc._weight_dirty = {int(pid) for pid in state["weight_dirty"]}
+        svc._next_id = int(state["next_id"])
+        svc._wcache = None
+        if state["weights"] is not None:
+            svc._wcache = WeightCache()
+            svc._wcache._w = {
+                (int(a), int(b)): float(w) for a, b, w in state["weights"]
+            }
+        return svc

@@ -47,8 +47,10 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 
-#: Reserved field-name suffixes marking machine-dependent values.
-NONDETERMINISTIC_SUFFIXES = ("_ms", "_kb", "_per_s")
+#: Reserved field-name suffixes marking machine-dependent values
+#: (durations, footprints, rates, and timing *ratios* such as
+#: ``speedup_vs_full_x``).
+NONDETERMINISTIC_SUFFIXES = ("_ms", "_kb", "_per_s", "_x")
 
 #: Record kinds that are deterministic end to end (every field).
 DETERMINISTIC_KINDS = frozenset({"run", "probe"})

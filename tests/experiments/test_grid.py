@@ -293,3 +293,130 @@ class TestShardedCells:
     def test_pool_initializer_is_importable_and_safe(self):
         from repro.experiments.grid import _pool_init
         assert _pool_init() is None  # no-op without numba, compile with
+
+
+class TestHungCellWatchdog:
+    SPEC = GridSpec(
+        name="one-cell",
+        engines=("lic-fast",),
+        families=("er",),
+        sizes=(12,),
+        quotas=(2,),
+        churn=(0,),
+        seeds=(0,),
+        density=0.35,
+    )
+
+    def test_double_timeout_persists_failure_record(self, monkeypatch):
+        import repro.experiments.grid as grid_mod
+
+        calls = {"n": 0}
+
+        def always_hung(spec, cell, telemetry=False):
+            calls["n"] += 1
+            raise grid_mod.CellTimeout(f"cell {cell.cell_id} hung")
+
+        monkeypatch.setattr(grid_mod, "run_grid_cell", always_hung)
+        res = grid_mod.run_grid(self.SPEC, cell_timeout=5.0)
+        assert calls["n"] == 2  # one retry, then give up
+        rec = res.records[0]
+        assert rec["ok"] is False
+        assert rec["error"] == "timeout"
+        assert rec["retries"] == 1
+        assert not res.ok
+
+    def test_transient_timeout_retried_once(self, monkeypatch):
+        import repro.experiments.grid as grid_mod
+
+        real = grid_mod.run_grid_cell
+        calls = {"n": 0}
+
+        def flaky(spec, cell, telemetry=False):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise grid_mod.CellTimeout("transient hang")
+            return real(spec, cell, telemetry=telemetry)
+
+        monkeypatch.setattr(grid_mod, "run_grid_cell", flaky)
+        res = grid_mod.run_grid(self.SPEC, cell_timeout=5.0)
+        rec = res.records[0]
+        assert rec["ok"] is True
+        assert rec["retries"] == 1
+        assert res.ok
+
+    def test_alarm_actually_interrupts_a_hung_cell(self, monkeypatch):
+        import signal
+        import time as time_mod
+
+        import repro.experiments.grid as grid_mod
+
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("no SIGALRM on this platform")
+
+        def sleepy(spec, cell, telemetry=False):
+            time_mod.sleep(30)
+            return {"ok": True}
+
+        monkeypatch.setattr(grid_mod, "run_grid_cell", sleepy)
+        t0 = time_mod.perf_counter()
+        res = grid_mod.run_grid(self.SPEC, cell_timeout=0.2)
+        assert time_mod.perf_counter() - t0 < 10
+        rec = res.records[0]
+        assert rec["ok"] is False and rec["error"] == "timeout"
+
+    def test_untimed_cells_record_zero_retries(self):
+        res = run_grid(self.SPEC)
+        assert res.records[0]["retries"] == 0
+
+    def test_cell_timeout_validation(self):
+        with pytest.raises(ValueError, match="cell_timeout"):
+            run_grid(self.SPEC, cell_timeout=0)
+
+
+class TestRetriesAreNonCanonical:
+    def test_retries_excluded_from_metric_fields_and_summary(self):
+        from repro.experiments.aggregate import _metric_fields
+
+        res = run_grid(TINY)
+        assert all("retries" in r for r in res.records)
+        assert "retries" not in _metric_fields(res.records)
+        for row in summarise(res.records):
+            assert "retries" not in row
+
+
+class TestServiceEngineCells:
+    SPEC = GridSpec(
+        name="svc",
+        engines=("lid-service", "lic-fast"),
+        families=("er",),
+        sizes=(14,),
+        quotas=(2,),
+        churn=(0, 12),
+        seeds=(0,),
+        density=0.35,
+        service_workload="storm",
+        service_differential_every=6,
+    )
+
+    def test_service_cells_run_and_conform(self):
+        res = run_grid(self.SPEC)
+        service = [r for r in res.records if r["engine"] == "lid-service"]
+        assert len(service) == 1  # only at churn > 0
+        rec = service[0]
+        assert rec["ok"] is True
+        assert rec["workload"] == "storm"
+        assert rec["trace_events"] == 12
+        assert rec["completed"] is True
+        assert rec["differential_ok"] is True
+        assert rec["guard_violations"] == 0
+        assert len(rec["matching_sha"]) == 12
+        json.dumps(res.records[0])
+
+    def test_service_records_are_deterministic(self):
+        from repro.telemetry.sink import canonical_fields
+
+        cell = [c for c in self.SPEC.cells()
+                if c.engine == "lid-service"][0]
+        a = run_grid_cell(self.SPEC, cell)
+        b = run_grid_cell(self.SPEC, cell)
+        assert canonical_fields(a) == canonical_fields(b)

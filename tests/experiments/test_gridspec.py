@@ -178,3 +178,36 @@ class TestTomlAndProfiles:
     def test_smoke_profile_covers_every_engine(self):
         engines = {c.engine for c in PROFILES["smoke"].cells()}
         assert engines == set(ENGINES)
+
+
+class TestServiceEngine:
+    def test_backend_is_fast(self):
+        assert engine_backend("lid-service") == "fast"
+
+    def test_service_cells_require_churn(self):
+        spec = tiny_spec(engines=("lid-service",), faults=("none",))
+        cells = spec.cells()
+        assert cells
+        assert all(c.churn > 0 for c in cells)
+
+    def test_service_cells_reject_faults(self):
+        spec = tiny_spec(engines=("lid-service",))
+        assert all(c.fault == "none" for c in spec.cells())
+
+    def test_service_knob_validation(self):
+        with pytest.raises(ValueError, match="unknown service workload"):
+            tiny_spec(service_workload="tsunami")
+        with pytest.raises(ValueError, match="service_budget"):
+            tiny_spec(service_budget=-1)
+        with pytest.raises(ValueError, match="service_differential_every"):
+            tiny_spec(service_differential_every=-1)
+
+    def test_service_knobs_change_spec_hash(self):
+        base = tiny_spec().spec_hash()
+        assert tiny_spec(service_workload="storm").spec_hash() != base
+        assert tiny_spec(service_budget=4).spec_hash() != base
+        assert tiny_spec(service_differential_every=10).spec_hash() != base
+
+    def test_smoke_profile_includes_service_engine(self):
+        engines = {c.engine for c in PROFILES["smoke"].cells()}
+        assert "lid-service" in engines

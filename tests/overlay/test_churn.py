@@ -252,3 +252,127 @@ class TestWeightCache:
         assert len(cache) == 0
         cache.clear()
         assert len(cache) == 0
+
+
+class TestGreedyRepairHardening:
+    """Input validation, churn-race absorption and budget truncation."""
+
+    def _chain(self):
+        # 0-1-2-3 path, strictly decreasing weights
+        wt = WeightTable({(0, 1): 5.0, (1, 2): 4.0, (2, 3): 3.0}, 4)
+        return wt, [1, 1, 1, 1]
+
+    def test_rejects_mismatched_quotas(self):
+        from repro.utils.validation import InvalidInstanceError
+
+        wt, _ = self._chain()
+        with pytest.raises(InvalidInstanceError):
+            greedy_repair(wt, [1, 1], Matching(4), dirty={0})
+
+    def test_rejects_mismatched_matching(self):
+        from repro.utils.validation import InvalidInstanceError
+
+        wt, quotas = self._chain()
+        with pytest.raises(InvalidInstanceError):
+            greedy_repair(wt, quotas, Matching(3), dirty={0})
+
+    def test_rejects_negative_quota(self):
+        from repro.utils.validation import InvalidInstanceError
+
+        wt, _ = self._chain()
+        with pytest.raises(InvalidInstanceError):
+            greedy_repair(wt, [1, -1, 1, 1], Matching(4), dirty={0})
+
+    def test_rejects_negative_budget(self):
+        from repro.utils.validation import InvalidInstanceError
+
+        wt, quotas = self._chain()
+        with pytest.raises(InvalidInstanceError):
+            greedy_repair(wt, quotas, Matching(4), dirty={0}, budget=-1)
+
+    def test_edgeless_instance_returns_clean_stats(self):
+        # a fully-departed neighbourhood: nodes remain but no edges do
+        stats = greedy_repair(
+            WeightTable({}, 4), [1, 1, 1, 1], Matching(4), dirty={0, 1, 2, 3}
+        )
+        assert stats.resolutions == 0
+        assert not stats.truncated
+        assert stats.stale_dropped == 0
+
+    def test_out_of_range_dirty_ids_are_absorbed(self):
+        wt, quotas = self._chain()
+        m = Matching(4)
+        stats = greedy_repair(wt, quotas, m, dirty={-3, 0, 1, 2, 3, 7, 10**9})
+        assert m.edge_set() == {(0, 1), (2, 3)}
+        assert stats.resolutions == 2
+
+    def test_stale_matched_edge_scrubbed(self):
+        # a peer left while still listed as matched: the matching holds
+        # (1, 2) but the instance no longer has that edge
+        wt = WeightTable({(0, 1): 5.0, (2, 3): 3.0}, 4)
+        m = Matching(4, [(1, 2)])
+        stats = greedy_repair(wt, [1, 1, 1, 1], m, dirty=set())
+        assert stats.stale_dropped == 1
+        # the scrub dirties the freed endpoints, so repair completes
+        assert m.edge_set() == {(0, 1), (2, 3)}
+
+    def test_budget_zero_on_stable_matching_not_truncated(self):
+        wt, quotas = self._chain()
+        m = Matching(4, [(0, 1), (2, 3)])  # already the fixpoint
+        stats = greedy_repair(wt, quotas, m, dirty={0, 1, 2, 3}, budget=0)
+        assert not stats.truncated
+        assert stats.resolutions == 0
+
+    def test_budget_truncation_is_feasible_and_flagged(self):
+        wt, quotas = self._chain()
+        m = Matching(4)
+        stats = greedy_repair(wt, quotas, m, dirty={0, 1, 2, 3}, budget=1)
+        assert stats.truncated
+        assert stats.resolutions == 1
+        assert m.edge_set() == {(0, 1)}  # heaviest first; (2,3) still blocking
+        # feasibility always holds even when truncated
+        for v in range(4):
+            assert m.degree(v) <= quotas[v]
+
+    def test_sufficient_budget_completes_exactly(self):
+        wt, quotas = self._chain()
+        m = Matching(4)
+        stats = greedy_repair(wt, quotas, m, dirty={0, 1, 2, 3}, budget=2)
+        assert not stats.truncated
+        assert m.edge_set() == lic_matching(wt, quotas).edge_set()
+
+
+class TestOverlayChurnEdgeCases:
+    """Leave/join edge cases the long-lived service depends on."""
+
+    def test_drain_overlay_to_empty(self):
+        dyn = _dyn(n=8, seed=5)
+        for pid in list(dyn.active_ids()):
+            stats = dyn.leave(pid)
+            assert stats.resolutions >= 0  # well-formed, never raises
+        assert dyn.n == 0
+        assert dyn.active_ids() == []
+
+    def test_join_into_empty_overlay(self):
+        dyn = _dyn(n=4, seed=5)
+        for pid in list(dyn.active_ids()):
+            dyn.leave(pid)
+        pid, stats = dyn.join(Peer(peer_id=-1, position=(0.5, 0.5)), [])
+        assert dyn.n == 1
+        assert dyn.partners(pid) == frozenset()
+        assert stats.resolutions == 0
+
+    def test_rebuild_after_drain_reaches_fixpoint(self):
+        dyn = _dyn(n=6, seed=7, backend="fast")
+        for pid in list(dyn.active_ids()):
+            dyn.leave(pid)
+        first, _ = dyn.join(Peer(peer_id=-1, position=(0.2, 0.2)), [])
+        ids = [first]
+        rng = np.random.default_rng(0)
+        for k in range(5):
+            neigh = [int(rng.choice(ids))]
+            pid, _ = dyn.join(
+                Peer(peer_id=-1, position=tuple(rng.uniform(0, 1, 2))), neigh
+            )
+            ids.append(pid)
+        _assert_is_greedy_fixpoint(dyn)

@@ -1,0 +1,191 @@
+"""Tests for the self-healing :class:`MatchingService`.
+
+Covers deterministic event application, the budget / on_budget modes,
+the invariant → degraded-mode ladder (including unrecoverable
+corruption), and exact snapshot/restore round-trips.
+"""
+
+import json
+
+import pytest
+
+from repro.service.guards import GuardReport, ServiceGuard
+from repro.service.runner import (
+    ServiceConfig,
+    _matching_sha,
+    build_service,
+    run_service,
+)
+from repro.service.service import MatchingService, ServiceCorruption
+from repro.telemetry.sink import canonical_fields
+
+
+def _small(**over) -> ServiceConfig:
+    base = dict(n=14, quota=2, seed=3, events=24, workload="poisson",
+                differential_every=12)
+    base.update(over)
+    return ServiceConfig(**base)
+
+
+class TestDeterminism:
+    def test_replay_is_deterministic(self):
+        a = run_service(_small()).report
+        b = run_service(_small()).report
+        assert canonical_fields(a) == canonical_fields(b)
+        assert a["matching_sha"] == b["matching_sha"]
+
+    def test_apply_resolves_events_against_state(self):
+        config = _small(events=16, workload="storm")
+        svc = build_service(config)
+        for event in config.trace().events:
+            outcome = svc.apply(event)
+            assert outcome.seq == event.seq
+            assert outcome.mode in ("incremental", "degraded")
+            if outcome.applied and event.kind != "join":
+                assert outcome.peer_id is not None
+        counts = {k: svc.counters[k]
+                  for k in ("joins", "leaves", "crashes", "updates")}
+        trace_counts = config.trace().kind_counts()
+        # every applied event lands in exactly one kind counter
+        assert sum(counts.values()) + svc.counters["skipped"] == len(
+            config.trace()
+        )
+        assert counts["joins"] == trace_counts["join"]
+
+    def test_run_report_shape(self):
+        report = run_service(_small()).report
+        assert report["engine"] == "lid-service"
+        assert report["completed"] is True
+        assert report["trace_events"] == 24
+        assert report["differential_ok"] is True
+        assert report["oracle_violations"] == 0
+        assert report["guard_violations"] == 0
+
+
+class TestBudgetModes:
+    def test_resolve_mode_repays_truncations_immediately(self):
+        report = run_service(
+            _small(repair_budget=0, on_budget="resolve")
+        ).report
+        assert report["truncated_repairs"] > 0
+        assert report["full_resolves"] >= report["truncated_repairs"]
+        assert report["truncation_debt"] == 0
+        # exact mode: the served matching is always the LIC fixpoint
+        assert report["differential_ok"] is True
+
+    def test_defer_mode_serves_feasible_truncated_matching(self):
+        result = run_service(_small(repair_budget=1, on_budget="defer"))
+        report = result.report
+        assert report["truncated_repairs"] > 0
+        # debt is repaid only by full re-solves; oracle feasibility and
+        # the bounded-gap acceptance must still hold throughout
+        assert report["oracle_violations"] == 0
+        assert report["differential_ok"] is True
+
+    def test_on_budget_validation(self):
+        config = _small()
+        svc = build_service(config)
+        with pytest.raises(ValueError, match="on_budget"):
+            MatchingService(
+                None, [], None, on_budget="panic"
+            )
+        with pytest.raises(ValueError, match="repair_budget"):
+            MatchingService(None, [], None, repair_budget=-1)
+        assert svc.on_budget == "resolve"
+
+
+class _AlwaysViolated(ServiceGuard):
+    def check_structure(self, service, report):
+        report.violations.append("injected: permanent fault")
+
+
+class TestDegradedLadder:
+    @staticmethod
+    def _poison_cache(svc):
+        # drift every cached eq.-9 weight; repair heals only the entries
+        # incident to the event's dirty set, the rest stay poisoned (the
+        # ws family keeps neighbourhoods small enough for some to survive)
+        for key in list(svc._wcache._w):
+            svc._wcache._w[key] += 1.0
+
+    def test_poisoned_weight_cache_trips_guard(self):
+        config = _small(n=40, family="ws", events=8, degraded_recovery=3,
+                        weight_check_every=1)
+        svc = build_service(config)
+        trace = config.trace().events
+        svc.apply(trace[0])
+        assert svc.mode == "incremental"
+        self._poison_cache(svc)
+        outcome = svc.apply(trace[1])
+        assert outcome.guard_ok is False
+        assert svc.mode == "degraded"
+        assert svc.counters["guard_violations"] >= 1
+        assert svc.counters["degraded_entries"] == 1
+        # the full re-solve rebuilt the cache and healed the state
+        report = GuardReport()
+        svc.guard.check_structure(svc, report)
+        svc.guard.check_weights(svc, report)
+        assert report.ok
+
+    def test_recovery_after_clean_cooldown(self):
+        config = _small(n=40, family="ws", events=12, degraded_recovery=2,
+                        weight_check_every=1)
+        svc = build_service(config)
+        trace = config.trace().events
+        svc.apply(trace[0])
+        self._poison_cache(svc)
+        svc.apply(trace[1])
+        assert svc.mode == "degraded"
+        # degraded events answer with full re-solves until the ladder
+        # releases after `degraded_recovery` consecutive clean passes
+        before = svc.counters["full_resolves"]
+        svc.apply(trace[2])
+        assert svc.mode == "degraded"
+        assert svc.counters["full_resolves"] > before
+        svc.apply(trace[3])
+        assert svc.mode == "incremental"
+        assert svc.counters["degraded_entries"] == 1
+
+    def test_unrecoverable_corruption_raises(self):
+        config = _small(events=4)
+        svc = build_service(config)
+        svc.guard = _AlwaysViolated()
+        with pytest.raises(ServiceCorruption, match="survived a full re-solve"):
+            svc.apply(config.trace().events[0])
+
+
+class TestSnapshotRestore:
+    def test_snapshot_survives_json_exactly(self):
+        config = _small(events=10, workload="flash")
+        svc = build_service(config)
+        for event in config.trace().events:
+            svc.apply(event)
+        snap = svc.snapshot()
+        restored = MatchingService.restore(
+            json.loads(json.dumps(snap)), config.metric()
+        )
+        assert restored.snapshot() == snap
+        assert _matching_sha(restored) == _matching_sha(svc)
+
+    def test_restored_service_replays_identically(self):
+        config = _small(events=20)
+        trace = config.trace().events
+        svc = build_service(config)
+        for event in trace[:10]:
+            svc.apply(event)
+        clone = MatchingService.restore(
+            json.loads(json.dumps(svc.snapshot())), config.metric()
+        )
+        for event in trace[10:]:
+            svc.apply(event)
+            clone.apply(event)
+        assert _matching_sha(clone) == _matching_sha(svc)
+        assert clone.counters == svc.counters
+        assert clone.mode == svc.mode
+
+    def test_restore_rejects_unknown_mode(self):
+        svc = build_service(_small(events=0))
+        state = svc.snapshot()
+        state["mode"] = "zombie"
+        with pytest.raises(ValueError, match="unknown mode"):
+            MatchingService.restore(state, _small().metric())
