@@ -34,6 +34,8 @@ __all__ = [
     "blocking_pairs",
     "is_stable",
     "count_blocking_pairs",
+    "weighted_blocking_pairs",
+    "count_weighted_blocking_pairs",
     "check_matching",
     "stability_report",
     "verify_matching",
@@ -52,12 +54,30 @@ def _would_accept(ps: PreferenceSystem, matching: Matching, v: int, u: int) -> b
 
 
 def blocking_pairs(ps: PreferenceSystem, matching: Matching) -> list[Edge]:
-    """All pairs blocking ``matching`` (empty iff stable)."""
+    """All pairs blocking ``matching`` (empty iff stable).
+
+    Node ``v`` accepts partner ``u`` iff it has spare quota or ranks
+    ``u`` above its current worst partner, so both tests reduce to one
+    comparison against hoisted per-node state (spare flag + worst held
+    rank) instead of a partner-set scan per pair — the per-pair cost
+    that used to dominate verification on large truncation sweeps.
+    """
+    n = ps.n
+    spare = [False] * n
+    worst = [-1] * n  # max rank among current partners; -1 when unmatched
+    for v in range(n):
+        conns = matching.connections(v)
+        if len(conns) < ps.quota(v):
+            spare[v] = True
+        if conns:
+            worst[v] = max(ps.rank(v, c) for c in conns)
     out = []
     for i, j in ps.edges():
         if matching.has_edge(i, j):
             continue
-        if _would_accept(ps, matching, i, j) and _would_accept(ps, matching, j, i):
+        if (spare[i] or ps.rank(i, j) < worst[i]) and (
+            spare[j] or ps.rank(j, i) < worst[j]
+        ):
             out.append((i, j))
     return out
 
@@ -65,6 +85,50 @@ def blocking_pairs(ps: PreferenceSystem, matching: Matching) -> list[Edge]:
 def count_blocking_pairs(ps: PreferenceSystem, matching: Matching) -> int:
     """Number of blocking pairs — the instability measure used in F4."""
     return len(blocking_pairs(ps, matching))
+
+
+def weighted_blocking_pairs(
+    ps: PreferenceSystem, matching: Matching, wt: WeightTable
+) -> list[Edge]:
+    """Pairs blocking ``matching`` under the eq.-9 weight order.
+
+    A pair ``(i, j) ∈ E \\ M`` *weight-blocks* when both endpoints would
+    strictly gain by the total-order edge key — spare quota, or
+    ``key(v, u)`` above the lightest currently held edge.  Unlike the
+    rank-based notion (under which converged LID is only *almost*
+    stable, Theorem 3), the converged LID/LIC matching is exactly stable
+    here: locally dominant selection leaves no weight-blocking pair, so
+    this count is 0 iff a truncated run has reached the fixpoint — the
+    measure the truncation CI gate pins at ``k=∞``.
+    """
+    if wt.n != ps.n:
+        raise ValueError(
+            f"weight table sized for {wt.n} nodes but instance has {ps.n}"
+        )
+    n = ps.n
+    spare = [False] * n
+    lightest = [None] * n  # min edge key among current partners
+    for v in range(n):
+        conns = matching.connections(v)
+        if len(conns) < ps.quota(v):
+            spare[v] = True
+        if conns:
+            lightest[v] = min(wt.key(v, c) for c in conns)
+    out = []
+    for i, j in ps.edges():
+        if matching.has_edge(i, j):
+            continue
+        k = wt.key(i, j)
+        if (spare[i] or k > lightest[i]) and (spare[j] or k > lightest[j]):
+            out.append((i, j))
+    return out
+
+
+def count_weighted_blocking_pairs(
+    ps: PreferenceSystem, matching: Matching, wt: WeightTable
+) -> int:
+    """Number of weight-blocking pairs (0 iff at the LIC fixpoint)."""
+    return len(weighted_blocking_pairs(ps, matching, wt))
 
 
 def is_stable(ps: PreferenceSystem, matching: Matching) -> bool:

@@ -77,6 +77,7 @@ class Backend:
         seed: int = 0,
         telemetry=None,
         probe=None,
+        max_rounds: "int | None" = None,
     ) -> "LidResult | FastLidResult":
         """Algorithm 1 (default channels) on an explicit weight table.
 
@@ -87,6 +88,9 @@ class Backend:
         which the default channels do not have).  ``telemetry`` /
         ``probe`` (see :mod:`repro.telemetry`) are honoured by both
         paths, and a probed trajectory is bit-identical between them.
+        ``max_rounds`` runs the round-truncated almost-stable variant
+        under the shared contract of :mod:`repro.core.truncation` —
+        the identical feasible partial matching on every backend.
         """
         raise NotImplementedError
 
@@ -122,8 +126,10 @@ class ReferenceBackend(Backend):
         seed: int = 0,
         telemetry=None,
         probe=None,
+        max_rounds: "int | None" = None,
     ) -> LidResult:
-        return run_lid(wt, quotas, seed=seed, telemetry=telemetry, probe=probe)
+        return run_lid(wt, quotas, seed=seed, telemetry=telemetry, probe=probe,
+                       max_rounds=max_rounds)
 
     def solve(self, ps: PreferenceSystem) -> Matching:
         return lic_matching(satisfaction_weights(ps), ps.quotas)
@@ -152,8 +158,10 @@ class FastBackend(Backend):
         seed: int = 0,
         telemetry=None,
         probe=None,
+        max_rounds: "int | None" = None,
     ) -> FastLidResult:
-        return lid_matching_fast(wt, quotas, telemetry=telemetry, probe=probe)
+        return lid_matching_fast(wt, quotas, telemetry=telemetry, probe=probe,
+                                 max_rounds=max_rounds)
 
     def solve(self, ps: PreferenceSystem) -> Matching:
         return lic_matching_fast(FastInstance.from_preference_system(ps))
@@ -191,6 +199,7 @@ class ShardedBackend(FastBackend):
         seed: int = 0,
         telemetry=None,
         probe=None,
+        max_rounds: "int | None" = None,
     ):
         from repro.core.sharded_lid import sharded_lid_matching
 
@@ -200,6 +209,7 @@ class ShardedBackend(FastBackend):
             shards=self.shards,
             workers=self.workers,
             jit=self.jit,
+            max_rounds=max_rounds,
             telemetry=telemetry,
             probe=probe,
         )

@@ -82,6 +82,7 @@ import numpy as np
 from repro.core.fast import FastInstance, _coerce_instance
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
+from repro.core.truncation import TruncationReport, validate_max_rounds
 from repro.core.weights import WeightTable
 from repro.distsim.metrics import SimMetrics
 from repro.telemetry.probes import ProbeSample
@@ -114,6 +115,11 @@ class FastLidResult:
         reference nodes' ``props_sent`` / ``rejs_sent``.
     late_messages:
         Deliveries discarded because the receiver had terminated.
+    truncation:
+        The shared :class:`~repro.core.truncation.TruncationReport`
+        (structural fields only; quality fields are filled by
+        ``solve_lid``).  Present for every run — ``max_rounds=None``
+        runs report ``converged=True`` with zero released locks.
     """
 
     matching: Matching
@@ -121,6 +127,7 @@ class FastLidResult:
     props_sent: np.ndarray
     rejs_sent: np.ndarray
     late_messages: int
+    truncation: Optional[TruncationReport] = None
 
     @property
     def prop_messages(self) -> int:
@@ -195,6 +202,7 @@ def lid_matching_fast(
     quotas: Optional[Sequence[int]] = None,
     *,
     max_events: Optional[int] = None,
+    max_rounds: Optional[int] = None,
     telemetry=None,
     probe=None,
 ) -> FastLidResult:
@@ -220,6 +228,14 @@ def lid_matching_fast(
         sends at most two messages per directed edge, so the default is
         never reached; it exists to turn a protocol bug into an error
         instead of a hang.
+    max_rounds:
+        Round-truncated ("almost stable") mode: execute at most this
+        many delivery waves, then stop, drop the in-flight wave, and
+        extract only the mutual locks (one-sided locks are released —
+        see :mod:`repro.core.truncation`).  ``None`` (the default) runs
+        to convergence with byte-identical behaviour to before the knob
+        existed; ``k`` at or beyond the convergence round is equivalent
+        to ``None`` bit for bit.
     telemetry:
         Optional :class:`repro.telemetry.Telemetry`
         (:data:`~repro.telemetry.NULL` to disable timing); when omitted
@@ -233,6 +249,7 @@ def lid_matching_fast(
         ``O(m)`` NumPy scan per tick; the wave hot loop itself is
         untouched.
     """
+    max_rounds = validate_max_rounds(max_rounds)
     tel = telemetry if telemetry is not None else Telemetry()
     mark = tel.mark()
     with tel.span("build_weights"):
@@ -327,6 +344,8 @@ def lid_matching_fast(
     max_depth = 0
     with tel.span("sim_loop"):
         while cur:
+            if max_rounds is not None and rounds >= max_rounds:
+                break  # round budget spent: drop the in-flight wave
             if probe is not None:
                 # catch the tick counter up to this wave's delivery time
                 # — the same peek-ahead the reference Simulator.run does
@@ -416,19 +435,30 @@ def lid_matching_fast(
             # engine's empty-queue tick
             _sample(probe_tick)
 
+    converged = not cur
     with tel.span("extract"):
-        if not all(finished):
-            bad = next(i for i in range(n) if not finished[i])
-            raise ProtocolError(
-                f"node {bad} did not finish (Lemma 5 violated?)"
-            )
-        lk = (np.frombuffer(bytes(st), dtype=np.uint8) & LK) != 0
-        if m and not np.array_equal(lk, lk[rev]):
-            s = int(np.flatnonzero(lk != lk[rev])[0])
-            i_, j_ = int(owner[s]), int(nbr[s])
-            raise ProtocolError(
-                f"asymmetric lock: {i_} locked {j_} but not vice versa"
-            )
+        released = 0
+        if max_rounds is None:
+            if not all(finished):
+                bad = next(i for i in range(n) if not finished[i])
+                raise ProtocolError(
+                    f"node {bad} did not finish (Lemma 5 violated?)"
+                )
+            lk = (np.frombuffer(bytes(st), dtype=np.uint8) & LK) != 0
+            if m and not np.array_equal(lk, lk[rev]):
+                s = int(np.flatnonzero(lk != lk[rev])[0])
+                i_, j_ = int(owner[s]), int(nbr[s])
+                raise ProtocolError(
+                    f"asymmetric lock: {i_} locked {j_} but not vice versa"
+                )
+        else:
+            # truncated: a one-sided lock means the partner's confirming
+            # PROP was still in flight — release it (deterministically)
+            # and keep only the mutual locks, which are feasible by
+            # construction
+            lk_raw = (np.frombuffer(bytes(st), dtype=np.uint8) & LK) != 0
+            lk = lk_raw & lk_raw[rev]
+            released = int(np.count_nonzero(lk_raw & ~lk))
         half = lk & (owner < nbr)
         matching = Matching.from_trusted_arrays(n, owner[half], nbr[half])
 
@@ -463,4 +493,10 @@ def lid_matching_fast(
         props_sent=props_arr,
         rejs_sent=rejs_arr,
         late_messages=late,
+        truncation=TruncationReport(
+            max_rounds=max_rounds,
+            rounds=rounds,
+            converged=converged,
+            released_locks=released,
+        ),
     )

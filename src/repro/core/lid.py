@@ -49,6 +49,11 @@ from typing import Optional, Sequence
 
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
+from repro.core.truncation import (
+    TruncationReport,
+    finalize_truncation,
+    validate_max_rounds,
+)
 from repro.core.weights import WeightTable, satisfaction_weights
 from repro.distsim.metrics import SimMetrics
 from repro.distsim.network import LatencyModel, Network
@@ -306,12 +311,17 @@ class LidResult:
         The node objects, exposing per-node statistics.
     late_messages:
         Deliveries discarded because the receiver had terminated.
+    truncation:
+        The shared :class:`~repro.core.truncation.TruncationReport`
+        (structural fields; ``solve_lid`` fills the quality fields for
+        truncated runs).
     """
 
     matching: Matching
     metrics: SimMetrics
     nodes: list[LidNode]
     late_messages: int
+    truncation: Optional[TruncationReport] = None
 
     @property
     def prop_messages(self) -> int:
@@ -349,6 +359,27 @@ def _extract_matching(nodes: Sequence[LidNode]) -> Matching:
     return matching
 
 
+def _extract_mutual_matching(nodes) -> tuple[Matching, int]:
+    """Mutual locks of a truncated run; counts released one-sided locks.
+
+    A directed lock whose reverse never locked means the partner's
+    confirming ``PROP`` was still in flight at the round cap — the lock
+    is released (the paper's unresolved state resolves to "no edge"),
+    matching the array engines' ``lk & lk[rev]`` extraction.
+    """
+    n = len(nodes)
+    matching = Matching(n)
+    released = 0
+    for i, node in enumerate(nodes):
+        for j in node.locked:
+            if 0 <= j < n and i in nodes[j].locked:
+                if i < j:
+                    matching.add(i, j)
+            else:
+                released += 1
+    return matching, released
+
+
 def run_lid(
     wt: WeightTable,
     quotas: Sequence[int],
@@ -361,6 +392,7 @@ def run_lid(
     backoff: str = "exponential",
     enforce_links: bool = True,
     max_events: Optional[int] = None,
+    max_rounds: Optional[int] = None,
     telemetry=None,
     probe=None,
 ) -> LidResult:
@@ -376,6 +408,16 @@ def run_lid(
     exponential ``backoff`` schedule with per-node seeded jitter
     (``backoff="none"`` restores the legacy fixed timer); see
     :class:`LidNode`.
+
+    ``max_rounds=k`` truncates the run after ``k`` delivery waves
+    (``Simulator.run(max_time=k + 0.5)`` — under the default
+    unit-latency channels wave ``r``'s deliveries land at virtual time
+    ``r``, shifted by at most a few ULPs of FIFO tie-break skew, so the
+    horizon sits at the midpoint of the inter-wave gap): no new
+    proposal wave is scheduled past the cap, the in-flight wave is
+    dropped, and one-sided locks are released at extraction, keeping
+    only the mutual ones (see :mod:`repro.core.truncation`).  ``None``
+    runs to convergence, byte-identical to before the knob existed.
 
     ``telemetry`` is a :class:`repro.telemetry.Telemetry` (or
     :data:`~repro.telemetry.NULL` to disable timing entirely); when
@@ -396,6 +438,7 @@ def run_lid(
     n = wt.n
     if len(quotas) != n:
         raise ValueError(f"quotas length {len(quotas)} != n={n}")
+    max_rounds = validate_max_rounds(max_rounds)
     polite = retransmit_timeout is not None
     tel = telemetry if telemetry is not None else Telemetry()
     mark = tel.mark()
@@ -425,20 +468,34 @@ def run_lid(
         )
         sim = Simulator(network, nodes, trace=trace)
     with tel.span("sim_loop"):
-        metrics = sim.run(max_events=max_events, probe=probe)
+        metrics = sim.run(
+            max_events=max_events,
+            max_time=max_rounds + 0.5 if max_rounds is not None else None,
+            probe=probe,
+        )
     with tel.span("extract"):
-        for i, node in enumerate(nodes):
-            if not node.finished:
-                raise ProtocolError(
-                    f"node {i} did not finish (Lemma 5 violated?)"
-                )
-        matching = _extract_matching(nodes)
+        released = 0
+        if max_rounds is None:
+            for i, node in enumerate(nodes):
+                if not node.finished:
+                    raise ProtocolError(
+                        f"node {i} did not finish (Lemma 5 violated?)"
+                    )
+            matching = _extract_matching(nodes)
+        else:
+            matching, released = _extract_mutual_matching(nodes)
     metrics.phase_seconds = tel.phase_seconds(since=mark)
     return LidResult(
         matching=matching,
         metrics=metrics,
         nodes=nodes,
         late_messages=sim.late_messages,
+        truncation=TruncationReport(
+            max_rounds=max_rounds,
+            rounds=int(metrics.end_time),
+            converged=(sim.pending_events() == 0),
+            released_locks=released,
+        ),
     )
 
 
@@ -451,6 +508,7 @@ def solve_lid(
     backend: str = "reference",
     drop_filter=None,
     retransmit_timeout: Optional[float] = None,
+    max_rounds: Optional[int] = None,
     telemetry=None,
     probe=None,
     shards: Optional[int] = None,
@@ -488,6 +546,12 @@ def solve_lid(
     It shares the fast backend's channel/fault restrictions;
     ``shards`` / ``shard_workers`` / ``jit`` raise :class:`ValueError`
     with any other backend.
+
+    ``max_rounds=k`` runs the round-truncated almost-stable variant on
+    whichever backend is selected — the identical feasible partial
+    matching on all of them — and fills the quality fields of
+    ``result.truncation`` (blocking-pair count, satisfaction ratio vs
+    the converged LIC matching); see :mod:`repro.core.truncation`.
     """
     from repro.core.backend import resolve_backend_name
 
@@ -526,13 +590,21 @@ def solve_lid(
                 shards=4 if shards is None else shards,
                 workers=0 if shard_workers is None else shard_workers,
                 jit=jit,
+                max_rounds=max_rounds,
                 telemetry=telemetry,
                 probe=probe,
             )
         else:
-            result = lid_matching_fast(fi, telemetry=telemetry, probe=probe)
+            result = lid_matching_fast(
+                fi, max_rounds=max_rounds, telemetry=telemetry, probe=probe
+            )
         result.matching.validate(ps)
-        return result, fi.weight_table()
+        wt = fi.weight_table()
+        if max_rounds is not None:
+            result.truncation = finalize_truncation(
+                result.truncation, ps, result.matching, wt=wt
+            )
+        return result, wt
     wt = satisfaction_weights(ps)
     result = run_lid(
         wt,
@@ -543,8 +615,13 @@ def solve_lid(
         trace=trace,
         drop_filter=drop_filter,
         retransmit_timeout=retransmit_timeout,
+        max_rounds=max_rounds,
         telemetry=telemetry,
         probe=probe,
     )
     result.matching.validate(ps)
+    if max_rounds is not None:
+        result.truncation = finalize_truncation(
+            result.truncation, ps, result.matching, wt=wt
+        )
     return result, wt

@@ -50,6 +50,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.core.lid import PROP, REJ
 from repro.core.matching import Matching
+from repro.core.truncation import TruncationReport, validate_max_rounds
 from repro.distsim.failures import (
     CrashSchedule,
     LinkFlap,
@@ -357,6 +358,7 @@ class ResilientLidResult:
     asymmetric_locks: int = 0
     late_messages: int = 0
     monitor: Optional[InvariantMonitor] = None
+    truncation: Optional[TruncationReport] = None
 
     @property
     def live_honest(self) -> frozenset[int]:
@@ -425,6 +427,7 @@ def run_resilient_lid(
     queue: str = "auto",
     max_events: Optional[int] = None,
     max_time: Optional[float] = None,
+    max_rounds: Optional[int] = None,
     telemetry=None,
     probe=None,
 ) -> ResilientLidResult:
@@ -456,6 +459,23 @@ def run_resilient_lid(
     n = wt.n
     if len(quotas) != n:
         raise ValueError(f"quotas length {len(quotas)} != n={n}")
+    # The round budget is counted on the reliable-transport clock: under
+    # unit latency protocol wave r's deliveries land at virtual time r
+    # plus at most a few ULPs of FIFO tie-break skew (ACK traffic sent
+    # in the same instant on the same channel pushes a datagram's
+    # delivery to ``nextafter`` times), so the horizon sits at the
+    # midpoint of the inter-wave gap: every wave-k delivery is in,
+    # every wave-(k+1) delivery is out, and fault-free truncated runs
+    # are bit-identical to the reference truncated run.
+    max_rounds = validate_max_rounds(max_rounds)
+    if max_rounds is not None:
+        if max_time is not None:
+            raise ValueError(
+                "max_rounds and max_time are mutually exclusive: max_rounds"
+                " is the round-budget spelling of the same virtual-time"
+                " horizon"
+            )
+        max_time = max_rounds + 0.5
     byzantine = dict(byzantine or {})
     for b in byzantine:
         if not (0 <= b < n):
@@ -535,6 +555,12 @@ def run_resilient_lid(
             for j in nodes[i].withdrawn
             if i in honest
         )
+        truncation = TruncationReport(
+            max_rounds=max_rounds,
+            rounds=int(metrics.end_time),
+            converged=(sim.pending_events() == 0),
+            released_locks=asymmetric,
+        )
     metrics.phase_seconds = tel.phase_seconds(since=mark)
     return ResilientLidResult(
         matching=matching,
@@ -548,4 +574,5 @@ def run_resilient_lid(
         asymmetric_locks=asymmetric,
         late_messages=sim.late_messages,
         monitor=mon,
+        truncation=truncation,
     )

@@ -71,6 +71,7 @@ from repro.core.fast import FastInstance, _coerce_instance
 from repro.core.fast_lid import FastLidResult, _directed_layout
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
+from repro.core.truncation import TruncationReport, validate_max_rounds
 from repro.core.weights import WeightTable
 from repro.distsim.metrics import SimMetrics
 from repro.telemetry.probes import ProbeSample
@@ -736,6 +737,7 @@ def sharded_lid_matching(
     workers: int = 0,
     jit: Optional[bool] = None,
     max_events: Optional[int] = None,
+    max_rounds: Optional[int] = None,
     telemetry=None,
     probe=None,
     _kernel: Optional[str] = None,
@@ -769,6 +771,14 @@ def sharded_lid_matching(
     max_events:
         Hang-detector budget over processed deliveries (same default
         policy as the fast engine).
+    max_rounds:
+        Round-truncated mode: cap the global reconciliation waves at
+        this many rounds and extract only the mutual locks (see
+        :mod:`repro.core.truncation`).  The cap is applied on the
+        *global* round clock — every shard stops after the same wave —
+        so the truncated matching stays shard-count-invariant, exactly
+        like the converged one.  ``None`` runs to convergence,
+        byte-identical to before.
     telemetry, probe:
         As the fast engine; additionally records one ``partition`` span,
         a per-shard ``shard<i>`` span plus a ``reconcile`` span under
@@ -779,6 +789,7 @@ def sharded_lid_matching(
         Test hook: force ``"list"`` / ``"arrays"`` (the interpreted
         array kernel) / ``"jit"`` regardless of ``jit``/numba.
     """
+    max_rounds = validate_max_rounds(max_rounds)
     tel = telemetry if telemetry is not None else Telemetry()
     mark = tel.mark()
     kernel_mode = _resolve_kernel_mode(jit, _kernel)
@@ -871,6 +882,8 @@ def sharded_lid_matching(
         with tel.span("sim_loop"):
             pending = int(sum(len(b) for b in inboxes))
             while pending:
+                if max_rounds is not None and rounds >= max_rounds:
+                    break  # round budget spent: drop the in-flight wave
                 if probe is not None and rounds + 1 >= probe_tick:
                     parts = executor.sample()
                     while rounds + 1 >= probe_tick:
@@ -927,18 +940,26 @@ def sharded_lid_matching(
         rejs_arr = np.concatenate([f["rejs"] for f in finals])
         received_arr = np.concatenate([f["received"] for f in finals])
 
-        if not finished_all.all():
-            bad = int(np.flatnonzero(finished_all == 0)[0])
-            raise ProtocolError(
-                f"node {bad} did not finish (Lemma 5 violated?)"
-            )
-        lk = (st_all & LK) != 0
-        if m and not np.array_equal(lk, lk[rev]):
-            s_ = int(np.flatnonzero(lk != lk[rev])[0])
-            i_, j_ = int(owner[s_]), int(nbr[s_])
-            raise ProtocolError(
-                f"asymmetric lock: {i_} locked {j_} but not vice versa"
-            )
+        released = 0
+        if max_rounds is None:
+            if not finished_all.all():
+                bad = int(np.flatnonzero(finished_all == 0)[0])
+                raise ProtocolError(
+                    f"node {bad} did not finish (Lemma 5 violated?)"
+                )
+            lk = (st_all & LK) != 0
+            if m and not np.array_equal(lk, lk[rev]):
+                s_ = int(np.flatnonzero(lk != lk[rev])[0])
+                i_, j_ = int(owner[s_]), int(nbr[s_])
+                raise ProtocolError(
+                    f"asymmetric lock: {i_} locked {j_} but not vice versa"
+                )
+        else:
+            # truncated: release one-sided locks, keep the mutual ones
+            # (same contract as the fast engine — see core.truncation)
+            lk_raw = (st_all & LK) != 0
+            lk = lk_raw & lk_raw[rev]
+            released = int(np.count_nonzero(lk_raw & ~lk))
         half = lk & (owner < nbr)
         matching = Matching.from_trusted_arrays(n, owner[half], nbr[half])
 
@@ -989,6 +1010,12 @@ def sharded_lid_matching(
         props_sent=props_arr,
         rejs_sent=rejs_arr,
         late_messages=late_total,
+        truncation=TruncationReport(
+            max_rounds=max_rounds,
+            rounds=rounds,
+            converged=(pending == 0),
+            released_locks=released,
+        ),
         shards=k,
         jit=(kernel_mode == "jit"),
         cut_messages=cut_messages,

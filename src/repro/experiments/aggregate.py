@@ -37,8 +37,10 @@ __all__ = [
     "write_report",
 ]
 
-#: cell-coordinate fields (the group key is every coordinate but the seed)
-COORDS = ("engine", "family", "n", "b", "churn", "fault", "seed")
+#: cell-coordinate fields (the group key is every coordinate but the
+#: seed — including ``max_rounds``, so each truncation budget gets its
+#: own summary row instead of being averaged away like a seed)
+COORDS = ("engine", "family", "n", "b", "churn", "fault", "max_rounds", "seed")
 GROUP_BY = [c for c in COORDS if c != "seed"]
 
 #: wall-clock fields carry this suffix and never enter canonical outputs

@@ -66,9 +66,11 @@ def _cmd_scenario(args) -> int:
     if args.backend == "sharded":
         result, _ = solve_lid(sc.ps, backend="sharded", shards=args.shards,
                               shard_workers=args.shard_workers,
-                              jit=True if args.jit else None)
+                              jit=True if args.jit else None,
+                              max_rounds=args.max_rounds)
     else:
-        result, _ = solve_lid(sc.ps, backend=args.backend)
+        result, _ = solve_lid(sc.ps, backend=args.backend,
+                              max_rounds=args.max_rounds)
     m = result.matching
     v = m.satisfaction_vector(sc.ps)
     print(f"scenario={sc.name} n={sc.ps.n} m={sc.ps.m} b_max={sc.ps.b_max}")
@@ -77,6 +79,13 @@ def _cmd_scenario(args) -> int:
           f"  median {np.median(v):.3f}  min {v.min():.3f}")
     print(f"messages: {result.prop_messages} PROP + {result.rej_messages} REJ"
           f" in {result.rounds:.0f} rounds")
+    if args.max_rounds is not None:
+        t = result.truncation
+        print(f"truncation: budget {t.max_rounds}, executed {t.rounds} waves,"
+              f" converged={t.converged}, released locks {t.released_locks}")
+        print(f"almost-stable: {t.blocking_pairs} blocking pairs"
+              f" ({t.weighted_blocking_pairs} weighted),"
+              f" satisfaction ratio {t.satisfaction_ratio:.4f} of converged")
     return 0
 
 
@@ -387,16 +396,35 @@ def _cmd_conformance(args) -> int:
 
     max_n = args.max_n or (300 if args.smoke else 120)
     seeds = tuple(range(args.seeds))
-    specs = smoke_specs(max_n=max_n, seeds=seeds)
     pipelines = None
-    if args.pipelines:
-        from repro.testing.differential import PIPELINES
-
-        pipelines = tuple(p.strip() for p in args.pipelines.split(",") if p.strip())
-        unknown = [p for p in pipelines if p not in PIPELINES]
-        if unknown:
-            print(f"unknown pipelines {unknown}; known: {sorted(PIPELINES)}")
+    if args.truncation:
+        if args.pipelines:
+            print("conformance: --truncation and --pipelines are mutually"
+                  " exclusive (the battery fixes its own pipeline set)")
             return 2
+        # the k-differential battery behind the truncation-smoke CI job:
+        # every truncated pipeline (each engine at k in {1, 3, inf}) on
+        # top of the defaults, so per-k matchings are diffed across
+        # engines and the kinf runs are pinned against converged outputs
+        from repro.testing.conformance import (
+            truncation_pipelines,
+            truncation_smoke_specs,
+        )
+
+        specs = truncation_smoke_specs(seeds=seeds)
+        pipelines = truncation_pipelines()
+    else:
+        specs = smoke_specs(max_n=max_n, seeds=seeds)
+        if args.pipelines:
+            from repro.testing.differential import PIPELINES
+
+            pipelines = tuple(
+                p.strip() for p in args.pipelines.split(",") if p.strip()
+            )
+            unknown = [p for p in pipelines if p not in PIPELINES]
+            if unknown:
+                print(f"unknown pipelines {unknown}; known: {sorted(PIPELINES)}")
+                return 2
     sweep = (conformance_sweep(specs) if pipelines is None
              else conformance_sweep(specs, pipelines=pipelines))
     print_table(
@@ -404,8 +432,18 @@ def _cmd_conformance(args) -> int:
         title=f"conformance sweep — {len(sweep.cells)} cells,"
               f" {len(sweep.cells[0].report.runs)} pipelines each",
     )
-    if pipelines is None:
+    if args.truncation:
+        # the battery plants only the round-cap mutation: the other
+        # planted bugs are the default sweep's job
+        smoke = mutation_smoke(mutations=("lid-truncation-off-by-one",),
+                               out_dir=args.out)
+    elif pipelines is None:
         smoke = mutation_smoke(out_dir=args.out)
+    else:
+        # a pipeline subset skips the mutation smoke: its planted bugs
+        # target the full default pipeline set
+        smoke = None
+    if smoke is not None:
         rows = [
             {"mutation": o.mutation,
              "caught": "yes" if o.caught else "MISSED",
@@ -418,10 +456,6 @@ def _cmd_conformance(args) -> int:
                     title="mutation smoke — every planted bug must be caught")
         if args.out:
             print(f"minimised repro files written to {args.out}")
-    else:
-        # a pipeline subset skips the mutation smoke: its planted bugs
-        # target the full default pipeline set
-        smoke = None
     ok = sweep.ok and (smoke is None or smoke.ok)
     if not sweep.ok:
         for cell in sweep.failures:
@@ -498,6 +532,7 @@ def _cmd_serve(args) -> int:
         on_budget=args.on_budget,
         checkpoint_every=args.checkpoint_every,
         differential_every=args.differential_every,
+        warmstart_rounds=args.warmstart_rounds,
     )
 
     if smoke:
@@ -583,6 +618,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jit", action="store_true",
                    help="request the numba-compiled shard kernel (graceful"
                         " fallback with a warning when numba is absent)")
+    p.add_argument("--max-rounds", type=int, default=None, metavar="K",
+                   help="truncate the protocol after K delivery waves and"
+                        " serve the feasible almost-stable partial matching"
+                        " (identical across backends; default: run to"
+                        " convergence)")
     p.set_defaults(fn=_cmd_scenario)
 
     p = sub.add_parser("compare", help="compare algorithms on a scenario")
@@ -719,6 +759,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated pipeline subset to sweep (e.g."
                         " 'lic-reference,lid-sharded'); skips the mutation"
                         " smoke, whose planted bugs target the full set")
+    p.add_argument("--truncation", action="store_true",
+                   help="the truncation-smoke CI battery: run every"
+                        " truncated pipeline (each engine at k in"
+                        " {1, 3, inf}) on the k-differential grid, diff"
+                        " matchings/blocking pairs per k across engines,"
+                        " and plant the round-cap mutation")
     p.set_defaults(fn=_cmd_conformance)
 
     p = sub.add_parser("discover", help="gossip discovery -> ranking -> LID pipeline")
@@ -756,6 +802,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="when a repair truncates: full re-solve (exact)"
                         " or serve the feasible truncated matching"
                         " (almost-stable)")
+    p.add_argument("--warmstart-rounds", type=int, default=None, metavar="K",
+                   help="warm-start every full re-solve from a K-round"
+                        " truncated LID run; the served matching is"
+                        " identical to a cold solve, only cheaper")
     p.add_argument("--differential-every", type=int, default=50,
                    help="conformance-check the served state against a"
                         " from-scratch solve every K events (0 = only at"

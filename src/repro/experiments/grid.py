@@ -255,6 +255,54 @@ def _run_static(spec: GridSpec, cell: GridCell, tel=NULL, probe=None) -> dict:
     return record
 
 
+def _run_truncated(spec: GridSpec, cell: GridCell, tel=NULL, probe=None) -> dict:
+    """The ``lid-truncated`` engine: quality-vs-k under a round budget.
+
+    Runs the round-capped LID pipeline (fast backend — the truncated
+    matching is engine-invariant under the shared contract of
+    :mod:`repro.core.truncation`) and records the almost-stability
+    observables: both blocking-pair counts (rank-based and eq.-9
+    weighted), the satisfaction ratio against the converged (LIC)
+    baseline, and the truncation accounting itself.  A cell is healthy
+    when the matching validates and — on converged cells — the weighted
+    blocking-pair count is exactly ``0`` and the ratio exactly ``1.0``
+    (the LIC-fixpoint invariants of the truncation contract).
+    """
+    from repro.core.lid import solve_lid
+
+    ps = _instance(spec, cell)
+    t0 = time.perf_counter()
+    res, _wt = solve_lid(ps, seed=cell.seed, backend=engine_backend(cell.engine),
+                         max_rounds=cell.max_rounds, telemetry=tel, probe=probe)
+    trunc = res.truncation
+    record: dict = {
+        "m": int(ps.m),
+        "lid_ms": 1e3 * (time.perf_counter() - t0),
+        "messages": int(res.metrics.total_sent),
+        "rounds": int(trunc.rounds),
+        "converged": bool(trunc.converged),
+        "released_locks": int(trunc.released_locks),
+        "blocking_pairs": int(trunc.blocking_pairs),
+        "weighted_blocking_pairs": int(trunc.weighted_blocking_pairs),
+        "satisfaction": float(trunc.satisfaction),
+        "satisfaction_ratio": float(trunc.satisfaction_ratio),
+    }
+    matching = res.matching
+    record.update(_sat_stats(ps, matching))
+    try:
+        matching.validate(ps)
+        record["valid"] = True
+    except Exception:
+        record["valid"] = False
+    fixpoint_ok = (
+        not trunc.converged
+        or (trunc.weighted_blocking_pairs == 0
+            and trunc.satisfaction_ratio == 1.0)
+    )
+    record["ok"] = bool(record["valid"] and fixpoint_ok)
+    return record
+
+
 def _run_churn(spec: GridSpec, cell: GridCell, tel=NULL) -> dict:
     from repro.overlay import DynamicOverlay
     from repro.overlay.metrics import PrivateTasteMetric
@@ -410,6 +458,8 @@ def run_grid_cell(spec: GridSpec, cell: GridCell,
             metrics = _run_resilient(spec, cell, tel=tel, probe=probe)
         elif cell.engine == "lid-service":
             metrics = _run_service(spec, cell, tel=tel)
+        elif cell.engine == "lid-truncated":
+            metrics = _run_truncated(spec, cell, tel=tel, probe=probe)
         elif cell.churn:
             metrics = _run_churn(spec, cell, tel=tel)
         else:

@@ -27,6 +27,9 @@ Axes
   (:meth:`FaultSpec.parse`): ``"none"``, ``"loss=0.1"``,
   ``"loss=0.3+crash=0.05+partition+byz=0.1"`` …
 - ``seeds`` — replications; the seed is the root of every cell RNG.
+- ``max_rounds`` — LID round budgets swept by the ``lid-truncated``
+  engine (the quality-vs-k curve of the shared truncation contract in
+  :mod:`repro.core.truncation`); other engines skip the axis.
 
 Not every coordinate combination is meaningful; :meth:`GridSpec.cells`
 expands only the *compatible* subset under the documented rules:
@@ -68,6 +71,7 @@ ENGINES = (
     "lid-fast",
     "lid-sharded",
     "lid-service",
+    "lid-truncated",
     "resilient",
 )
 
@@ -91,6 +95,11 @@ def engine_backend(engine: str) -> str:
         return "reference"
     if engine == "lid-service":
         # the long-lived service defaults to the cached fast pipeline
+        return "fast"
+    if engine == "lid-truncated":
+        # the truncated matching is engine-invariant (the shared
+        # contract of repro.core.truncation), so the grid measures the
+        # quality-vs-k curve on the cheapest engine
         return "fast"
     return engine.split("-", 1)[1]
 
@@ -180,14 +189,18 @@ class GridCell:
     churn: int
     fault: str
     seed: int
+    #: round budget — set exactly for ``lid-truncated`` cells; ``None``
+    #: everywhere else, keeping pre-truncation cell ids byte-stable
+    max_rounds: Optional[int] = None
 
     @property
     def cell_id(self) -> str:
         """Deterministic, filename-safe cell identity."""
         fault = re.sub(r"[^0-9a-zA-Z]+", "", self.fault.replace("+", "-"))
+        suffix = "" if self.max_rounds is None else f"_k{self.max_rounds}"
         return (
             f"{self.engine}_{self.family}_n{self.n}_b{self.b}"
-            f"_c{self.churn}_{fault or 'none'}_s{self.seed}"
+            f"_c{self.churn}_{fault or 'none'}_s{self.seed}{suffix}"
         )
 
     def coords(self) -> dict:
@@ -200,6 +213,7 @@ class GridCell:
             "churn": self.churn,
             "fault": self.fault,
             "seed": self.seed,
+            "max_rounds": self.max_rounds,
         }
 
 
@@ -239,6 +253,10 @@ class GridSpec:
     churn: tuple[int, ...] = (0,)
     faults: tuple[str, ...] = ("none",)
     seeds: tuple[int, ...] = (0,)
+    #: round budgets swept by the ``lid-truncated`` engine (other
+    #: engines ignore the axis); a "converged" row is spelled with a
+    #: budget past every instance's quiescence round (e.g. ``1 << 30``)
+    max_rounds: tuple[int, ...] = ()
     density: Optional[float] = None
     degree: Optional[float] = None
     measure_ratio: bool = False
@@ -259,6 +277,7 @@ class GridSpec:
         object.__setattr__(self, "quotas", _astuple(self.quotas, int))
         object.__setattr__(self, "churn", _astuple(self.churn, int))
         object.__setattr__(self, "seeds", _astuple(self.seeds, int))
+        object.__setattr__(self, "max_rounds", _astuple(self.max_rounds, int))
         if self.backoff is not None:
             object.__setattr__(self, "backoff", tuple(self.backoff))
         # canonicalise fault strings through the DSL parser
@@ -294,6 +313,20 @@ class GridSpec:
                 "density/degree specify an Erdős–Rényi edge probability:"
                 f" families must be ('er',), got {self.families}"
             )
+        if any(k < 0 for k in self.max_rounds):
+            raise ValueError(
+                f"max_rounds values must be >= 0, got {self.max_rounds}"
+            )
+        if "lid-truncated" in self.engines and not self.max_rounds:
+            raise ValueError(
+                "the lid-truncated engine sweeps the max_rounds axis:"
+                " give max_rounds at least one round budget"
+            )
+        if self.max_rounds and "lid-truncated" not in self.engines:
+            raise ValueError(
+                "max_rounds is only consumed by the lid-truncated engine;"
+                f" engines {self.engines} would silently ignore it"
+            )
         if self.service_workload not in SERVICE_WORKLOADS:
             raise ValueError(
                 f"unknown service workload {self.service_workload!r};"
@@ -319,6 +352,9 @@ class GridSpec:
         the churn-consuming engines (the incremental ``lic-*`` pipelines
         and the long-lived ``lid-service``, which reads the churn count
         as its workload-trace length and therefore *requires* churn).
+        The ``max_rounds`` coordinate is set exactly on ``lid-truncated``
+        cells (the only engine sweeping the round-budget axis), which
+        are static: no churn, no faults.
         """
         if cell.fault != "none" and cell.engine != "resilient":
             return False
@@ -328,22 +364,27 @@ class GridSpec:
             return False
         if cell.engine == "lid-service" and not cell.churn:
             return False
+        if (cell.max_rounds is not None) != (cell.engine == "lid-truncated"):
+            return False
         return True
 
     def cells(self) -> list[GridCell]:
         """The compatible cells in deterministic sweep order."""
         out = []
         for engine in self.engines:
+            budgets = self.max_rounds if engine == "lid-truncated" else (None,)
             for family in self.families:
                 for n in self.sizes:
                     for b in self.quotas:
                         for churn in self.churn:
                             for fault in self.faults:
                                 for seed in self.seeds:
-                                    cell = GridCell(engine, family, n, b,
-                                                    churn, fault, seed)
-                                    if self.compatible(cell):
-                                        out.append(cell)
+                                    for k in budgets:
+                                        cell = GridCell(engine, family, n, b,
+                                                        churn, fault, seed,
+                                                        max_rounds=k)
+                                        if self.compatible(cell):
+                                            out.append(cell)
         if not out:
             raise ValueError(
                 f"grid {self.name!r} expands to zero compatible cells"
@@ -424,6 +465,7 @@ PROFILES: dict[str, GridSpec] = {
         churn=(0, 6),
         faults=("none", "loss=0.2+crash=0.05"),
         seeds=(0, 1),
+        max_rounds=(2, 1 << 30),
     ),
     "nightly": GridSpec(
         name="nightly",
@@ -435,6 +477,16 @@ PROFILES: dict[str, GridSpec] = {
         faults=("none", "loss=0.1", "loss=0.3+crash=0.05",
                 "loss=0.1+partition", "byz=0.1"),
         seeds=(0, 1, 2),
+        max_rounds=(1, 2, 4, 8, 1 << 30),
+    ),
+    "truncation": GridSpec(
+        name="truncation",
+        engines=("lid-truncated",),
+        families=("er", "geo"),
+        sizes=(60,),
+        quotas=(3,),
+        max_rounds=(1, 2, 3, 4, 6, 8, 1 << 30),
+        seeds=(0, 1),
     ),
     "faults": GridSpec(
         name="faults",

@@ -128,7 +128,9 @@ def aggregate(
     reducers = dict(reducers or {})
     groups: dict[tuple, list[Mapping]] = {}
     for rec in records:
-        key = tuple(rec[g] for g in group_by)
+        # .get: records written before a coordinate existed (e.g. a
+        # store predating the max_rounds axis) group under None
+        key = tuple(rec.get(g) for g in group_by)
         groups.setdefault(key, []).append(rec)
     out = []
     for key, recs in groups.items():

@@ -68,10 +68,17 @@ class ServiceConfig:
     degraded_recovery: int = 8
     checkpoint_every: int = 25
     differential_every: int = 50
+    #: warm-start every full re-solve from a k-round-truncated LID run
+    #: (None = cold solves); the served matching is identical either way
+    warmstart_rounds: Optional[int] = None
 
     def __post_init__(self):
         if self.n < 1:
             raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.warmstart_rounds is not None and self.warmstart_rounds < 0:
+            raise ValueError(
+                f"warmstart_rounds must be >= 0, got {self.warmstart_rounds}"
+            )
         if self.events < 0:
             raise ValueError(f"events must be >= 0, got {self.events}")
         if self.checkpoint_every < 1:
@@ -124,6 +131,7 @@ def build_service(config: ServiceConfig) -> MatchingService:
         on_budget=config.on_budget,
         weight_check_every=config.weight_check_every,
         degraded_recovery=config.degraded_recovery,
+        warmstart_rounds=config.warmstart_rounds,
     )
 
 
@@ -182,6 +190,7 @@ def run_service(
             on_budget=config.on_budget,
             weight_check_every=config.weight_check_every,
             degraded_recovery=config.degraded_recovery,
+            warmstart_rounds=config.warmstart_rounds,
         )
         start_seq = int(payload["seq"])
         resumed_from: Optional[int] = start_seq

@@ -37,6 +37,9 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.core.fast import FastInstance
+from repro.core.fast_lid import lid_matching_fast
+from repro.core.truncation import validate_max_rounds
 from repro.overlay.churn import (
     DynamicOverlay,
     RepairStats,
@@ -107,6 +110,15 @@ class MatchingService(DynamicOverlay):
     degraded_recovery:
         Consecutive clean events required to climb back from degraded
         to incremental mode.
+    warmstart_rounds:
+        When set, every full re-solve is warm-started from a
+        ``max_rounds``-truncated LID run (the shared contract of
+        :mod:`repro.core.truncation`): the k-round feasible partial
+        matching — a *subset* of the LIC fixpoint, by lock nesting —
+        seeds :func:`~repro.overlay.churn.greedy_repair`, which closes
+        the gap to the exact fixpoint.  The served matching is
+        identical to a cold solve (the fixpoint is unique); only the
+        work changes, quantified in :attr:`last_warmstart`.
     """
 
     def __init__(
@@ -120,6 +132,7 @@ class MatchingService(DynamicOverlay):
         weight_check_every: int = 8,
         degraded_recovery: int = 8,
         guard: Optional[ServiceGuard] = None,
+        warmstart_rounds: Optional[int] = None,
     ):
         if on_budget not in ("resolve", "defer"):
             raise ValueError(
@@ -139,6 +152,11 @@ class MatchingService(DynamicOverlay):
         self.on_budget = on_budget
         self.weight_check_every = weight_check_every
         self.degraded_recovery = degraded_recovery
+        self.warmstart_rounds = validate_max_rounds(warmstart_rounds)
+        #: repair accounting of the most recent warm-started re-solve
+        #: (``None`` until one runs; transient — not checkpointed, since
+        #: it never affects the served state)
+        self.last_warmstart: Optional[RepairStats] = None
         self.guard = guard if guard is not None else ServiceGuard()
         self.mode = "incremental"
         self._cooldown = 0
@@ -149,10 +167,33 @@ class MatchingService(DynamicOverlay):
     # -- repair --------------------------------------------------------
 
     def full_rematch(self) -> None:
-        super().full_rematch()
+        if self.warmstart_rounds is None:
+            super().full_rematch()
+        else:
+            self._warmstart_rematch()
         # a from-scratch solve is exactly LIC: any almost-stable debt
         # accumulated by deferred truncations is repaid here
         self.truncated_since_sync = 0
+
+    def _warmstart_rematch(self) -> None:
+        """Full re-solve seeded by a round-truncated LID run.
+
+        The k-wave truncated matching is feasible and nested inside the
+        LIC fixpoint (locks are permanent), so the closing repair only
+        adds edges; because the no-weighted-blocking-edge fixpoint is
+        unique, the result is exactly the cold solve's matching.
+        """
+        ps, ids, _ = self._compact_instance()
+        fi = FastInstance.from_preference_system(ps)
+        res = lid_matching_fast(fi, max_rounds=self.warmstart_rounds)
+        matching = res.matching
+        self.last_warmstart = greedy_repair(
+            fi.weight_table(), list(ps.quotas), matching, range(ps.n)
+        )
+        if self._wcache is not None:
+            self._wcache.seed(fi, ids)
+            self._weight_dirty.clear()
+        self._store_matching(matching, ids)
 
     def _repair(self, dirty_external: "set[int] | Iterable[int]") -> RepairStats:
         if self.mode == "degraded":
@@ -367,6 +408,7 @@ class MatchingService(DynamicOverlay):
         weight_check_every: int = 8,
         degraded_recovery: int = 8,
         guard: Optional[ServiceGuard] = None,
+        warmstart_rounds: Optional[int] = None,
     ) -> "MatchingService":
         """Rebuild a service from :meth:`snapshot` output.
 
@@ -380,6 +422,8 @@ class MatchingService(DynamicOverlay):
         svc.on_budget = on_budget
         svc.weight_check_every = weight_check_every
         svc.degraded_recovery = degraded_recovery
+        svc.warmstart_rounds = validate_max_rounds(warmstart_rounds)
+        svc.last_warmstart = None
         svc.guard = guard if guard is not None else ServiceGuard()
         svc.guard._weight_cursor = int(state["guard_cursor"])
         svc.mode = str(state["mode"])

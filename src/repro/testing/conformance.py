@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 from repro.core.preferences import PreferenceSystem
 from repro.testing.differential import (
     DEFAULT_PIPELINES,
+    TRUNCATED_PIPELINES,
     DifferentialReport,
     run_differential,
 )
@@ -47,10 +48,13 @@ __all__ = [
     "MutationOutcome",
     "MutationSmokeResult",
     "conformance_sweep",
+    "mutation_bases",
     "mutation_smoke",
     "capture_repro",
     "replay_repro",
     "smoke_specs",
+    "truncation_smoke_specs",
+    "truncation_pipelines",
 ]
 
 # exact-bound checks solve two MILPs per cell; keep them to small cells
@@ -154,6 +158,45 @@ def smoke_specs(max_n: int = 300, seeds: Sequence[int] = (0,)) -> list[InstanceS
     return specs
 
 
+def truncation_smoke_specs(
+    max_n: int = 60, seeds: Sequence[int] = (0,)
+) -> list[InstanceSpec]:
+    """The k-differential battery: small cells across families.
+
+    Sized for the ``truncation-smoke`` CI job — each cell runs every
+    truncated pipeline at every registered k on top of the defaults, so
+    the grid stays deliberately smaller than :func:`smoke_specs`.
+    """
+    specs = list(spec_grid(
+        families=("er", "geo", "ba"),
+        sizes=(20,),
+        preference_models=("uniform", "shared"),
+        quota_models=("constant",),
+        seeds=seeds,
+    ))
+    specs += [
+        InstanceSpec(family="er", n=max_n, preference_model="uniform",
+                     quota_model="degree", quota=3, seed=s)
+        for s in seeds
+    ]
+    specs += [
+        InstanceSpec(family="ws", n=max_n, preference_model="shared",
+                     quota_model="uniform", quota=4, seed=s)
+        for s in seeds
+    ]
+    return specs
+
+
+def truncation_pipelines() -> tuple[str, ...]:
+    """Default + truncated pipelines — the k-differential pipeline set.
+
+    The untruncated defaults ride along so the ``kinf`` runs (which
+    exercise the truncation code path at a budget every instance
+    converges within) are pinned against the genuine converged outputs.
+    """
+    return tuple(DEFAULT_PIPELINES) + tuple(TRUNCATED_PIPELINES)
+
+
 def conformance_sweep(
     specs: Optional[Sequence[InstanceSpec]] = None,
     pipelines: Sequence[str] = DEFAULT_PIPELINES,
@@ -175,9 +218,10 @@ def conformance_sweep(
 
 
 # the instance every mutation is planted on: dense enough that all
-# seven bugs manifest (quota 3 ≥ 2 so starvation bites, ≥ 2 connections
-# per node so the eq.-1 dynamic term is positive, non-complete so a
-# forged non-edge exists)
+# planted bugs manifest (quota 3 ≥ 2 so starvation bites, ≥ 2
+# connections per node so the eq.-1 dynamic term is positive,
+# non-complete so a forged non-edge exists, and > 3 convergence rounds
+# so the off-by-one round cap loses a wave)
 _MUTATION_SPEC = InstanceSpec(
     family="er", n=18, preference_model="uniform",
     quota_model="constant", quota=3, seed=0,
@@ -187,13 +231,25 @@ _MUTATION_SPEC = InstanceSpec(
 # enough to witness every divergence kind without paying for all five
 _MUTATION_BASE_PIPELINES = ("lic-reference", "lid-fast")
 
+# mutations whose divergence only shows against a specific diff target
+# override the default bases: the truncation mutant joins the k3 diff
+# group, so the genuine truncated reference at k3 must be present
+_MUTATION_BASES = {
+    "lid-truncation-off-by-one": ("lic-reference", "lid-truncated-reference@k3"),
+}
+
+
+def mutation_bases(mutation: str) -> tuple[str, ...]:
+    """Base pipelines a planted bug is diffed against."""
+    return _MUTATION_BASES.get(mutation, _MUTATION_BASE_PIPELINES)
+
 
 def _mutation_report(
     ps: PreferenceSystem, mutation: str, seed: int
 ) -> DifferentialReport:
     return run_differential(
         ps, seed=seed,
-        pipelines=_MUTATION_BASE_PIPELINES,
+        pipelines=mutation_bases(mutation),
         extra_pipelines={f"mutant:{mutation}": mutant_pipeline(mutation)},
     )
 
@@ -243,15 +299,23 @@ def capture_repro(
     ps: PreferenceSystem,
     mutation: Optional[str] = None,
     seed: int = 0,
-    pipelines: Sequence[str] = _MUTATION_BASE_PIPELINES,
+    pipelines: Optional[Sequence[str]] = None,
     minimise: bool = True,
 ) -> ConformanceRepro:
     """Shrink a diverging instance and package it as a repro.
 
     For ``mutation=None`` the divergence must exist between the real
     pipelines (an organic bug); otherwise the named planted bug is
-    re-applied at every minimisation step.
+    re-applied at every minimisation step.  ``pipelines`` defaults to
+    the mutation's own base pipelines (or the shared default bases).
     """
+    if pipelines is None:
+        pipelines = (
+            mutation_bases(mutation)
+            if mutation is not None
+            else _MUTATION_BASE_PIPELINES
+        )
+
     def diverges(candidate: PreferenceSystem) -> bool:
         if mutation is not None:
             report = _mutation_report(candidate, mutation, seed)

@@ -39,6 +39,9 @@ __all__ = [
     "PIPELINES",
     "DEFAULT_PIPELINES",
     "REFERENCE_PIPELINE",
+    "TRUNCATION_INF",
+    "TRUNCATION_KS",
+    "TRUNCATED_PIPELINES",
     "run_pipeline",
     "run_differential",
 ]
@@ -65,6 +68,13 @@ class PipelineRun:
     rej_messages: Optional[int] = None
     profile: Optional[Sequence[float]] = None
     weight_table: Optional["WeightTable"] = None
+    # round-truncated runs: the rank-based blocking-pair count (diffed
+    # when both sides report one) and the diff group ("trunc@k1", ...)
+    # — members of a group are diffed against the group's first-inserted
+    # run instead of the global reference, because a k-truncated
+    # matching legitimately differs from the converged one.
+    blocking_pairs: Optional[int] = None
+    diff_group: Optional[str] = None
 
     def edge_set(self) -> frozenset[Edge]:
         return self.matching.edge_set()
@@ -75,8 +85,9 @@ class Divergence:
     """One disagreement between two pipelines (or pipeline vs oracle).
 
     ``kind`` ∈ {``matching``, ``satisfaction``, ``messages``,
-    ``oracle``}; ``detail`` carries the concrete diff (missing/extra
-    edges, numeric gap, or the oracle violation text).
+    ``blocking-pairs``, ``oracle``}; ``detail`` carries the concrete
+    diff (missing/extra edges, numeric gap, or the oracle violation
+    text).
     """
 
     kind: str
@@ -212,8 +223,75 @@ PIPELINES: dict[str, Callable[[PreferenceSystem, int], PipelineRun]] = {
 DEFAULT_PIPELINES = tuple(PIPELINES)
 REFERENCE_PIPELINE = "lic-reference"
 
-# pipeline pairs whose message statistics are documented bit-identical
-_MESSAGE_TWINS = (("lid-reference", "lid-fast"),)
+
+# ----------------------------------------------------------------------
+# round-truncated pipelines (registered AFTER DEFAULT_PIPELINES is
+# frozen, so default sweeps are untouched)
+# ----------------------------------------------------------------------
+
+#: sentinel "∞" round budget — large enough that every battery instance
+#: converges, so the truncation *code path* runs but must reproduce the
+#: untruncated output exactly (these runs diff against the global
+#: reference like any converged pipeline).
+TRUNCATION_INF = 1 << 30
+
+#: the k values of the truncation conformance battery, by label
+TRUNCATION_KS: dict[str, int] = {"k1": 1, "k3": 3, "kinf": TRUNCATION_INF}
+
+
+def _make_truncated_pipeline(engine: str, label: str, k: int):
+    group = None if k == TRUNCATION_INF else f"trunc@{label}"
+    name = f"lid-truncated-{engine}@{label}"
+
+    def run(ps: PreferenceSystem, seed: int) -> PipelineRun:
+        if engine == "resilient":
+            from repro.baselines.verify import count_blocking_pairs
+            from repro.core.resilient_lid import run_resilient_lid
+            from repro.core.weights import satisfaction_weights
+
+            wt = satisfaction_weights(ps)
+            res = run_resilient_lid(wt, ps.quotas, seed=seed, max_rounds=k)
+            return PipelineRun(
+                name, res.matching,
+                res.matching.total_satisfaction(ps),
+                weight_table=wt,
+                blocking_pairs=count_blocking_pairs(ps, res.matching),
+                diff_group=group,
+            )
+        from repro.core.lid import solve_lid
+
+        kwargs = {"shards": 3} if engine == "sharded" else {}
+        res, wt = solve_lid(ps, seed=seed, backend=engine, max_rounds=k, **kwargs)
+        return PipelineRun(
+            name, res.matching,
+            res.matching.total_satisfaction(ps),
+            prop_messages=res.prop_messages, rej_messages=res.rej_messages,
+            weight_table=wt,
+            blocking_pairs=res.truncation.blocking_pairs,
+            diff_group=group,
+        )
+
+    return run
+
+
+# the reference engine registers first within each k so it becomes the
+# group's diff reference (groups diff against their first-inserted run)
+for _label, _k in TRUNCATION_KS.items():
+    for _engine in ("reference", "fast", "sharded", "resilient"):
+        PIPELINES[f"lid-truncated-{_engine}@{_label}"] = _make_truncated_pipeline(
+            _engine, _label, _k
+        )
+
+#: every registered truncated pipeline name (not part of the defaults)
+TRUNCATED_PIPELINES = tuple(n for n in PIPELINES if n.startswith("lid-truncated-"))
+
+# pipeline pairs whose message statistics are documented bit-identical;
+# the round-batched engine replays the reference schedule at every k,
+# dropped in-flight wave included
+_MESSAGE_TWINS = (("lid-reference", "lid-fast"),) + tuple(
+    (f"lid-truncated-reference@{label}", f"lid-truncated-fast@{label}")
+    for label in TRUNCATION_KS
+)
 
 
 def run_pipeline(
@@ -243,6 +321,15 @@ def _diff_runs(ref: PipelineRun, other: PipelineRun) -> list[Divergence]:
             kind="satisfaction", left=ref.pipeline, right=other.pipeline,
             detail=f"{ref.total_satisfaction:.12g} vs "
                    f"{other.total_satisfaction:.12g} (gap {gap:.3g})",
+        ))
+    if (
+        ref.blocking_pairs is not None
+        and other.blocking_pairs is not None
+        and ref.blocking_pairs != other.blocking_pairs
+    ):
+        out.append(Divergence(
+            kind="blocking-pairs", left=ref.pipeline, right=other.pipeline,
+            detail=f"{ref.blocking_pairs} vs {other.blocking_pairs}",
         ))
     return out
 
@@ -281,9 +368,12 @@ def run_differential(
         run = fn(ps, seed)
         run.pipeline = name  # registry name wins over the callable's label
         report.runs[name] = run
+        # theorem bounds hold for the converged protocol only — a
+        # k-truncated partial matching (diff_group set) is exempt
         oracle = verify_matching(
             ps, run.matching, wt=run.weight_table,
-            profile=run.profile, bounds=oracle_bounds,
+            profile=run.profile,
+            bounds=oracle_bounds and run.diff_group is None,
         )
         report.oracle_reports[name] = oracle
         for violation in oracle.violations:
@@ -294,9 +384,17 @@ def run_differential(
 
     ref_name = REFERENCE_PIPELINE if REFERENCE_PIPELINE in report.runs else next(iter(report.runs))
     ref = report.runs[ref_name]
+    # truncated runs at the same k form a diff group: they must agree
+    # with each other (and with the group's reference engine), but not
+    # with the converged global reference
+    group_refs: dict[str, PipelineRun] = {}
     for name, run in report.runs.items():
-        if name != ref_name:
-            report.divergences.extend(_diff_runs(ref, run))
+        if run.diff_group is not None and run.diff_group not in group_refs:
+            group_refs[run.diff_group] = run
+    for name, run in report.runs.items():
+        target = ref if run.diff_group is None else group_refs[run.diff_group]
+        if name != target.pipeline:
+            report.divergences.extend(_diff_runs(target, run))
 
     for left, right in _MESSAGE_TWINS:
         a, b = report.runs.get(left), report.runs.get(right)

@@ -192,11 +192,36 @@ def _mutant_satisfaction_misscore(ps: PreferenceSystem, seed: int) -> PipelineRu
     )
 
 
+def _mutant_lid_truncation_off_by_one(ps: PreferenceSystem, seed: int) -> PipelineRun:
+    """Round cap off by one: honour ``max_rounds=k`` by running k-1 waves.
+
+    The classic ``<`` vs ``<=`` budget bug.  The mutant claims the k3
+    truncation battery's budget (joining its diff group) but executes
+    one wave less, so it misses the locks the last wave would have
+    confirmed; caught as a matching (and blocking-pairs) divergence
+    against the genuine truncated reference at the same k.
+    """
+    from repro.core.lid import solve_lid
+    from repro.testing.differential import TRUNCATION_KS
+
+    k = TRUNCATION_KS["k3"]
+    res, wt = solve_lid(ps, seed=seed, backend="fast", max_rounds=max(0, k - 1))
+    return PipelineRun(
+        "mutant:lid-truncation-off-by-one", res.matching,
+        res.matching.total_satisfaction(ps),
+        prop_messages=res.prop_messages, rej_messages=res.rej_messages,
+        weight_table=wt,
+        blocking_pairs=res.truncation.blocking_pairs,
+        diff_group="trunc@k3",
+    )
+
+
 MUTATIONS: dict[str, Callable[[PreferenceSystem, int], PipelineRun]] = {
     "lic-weight-jitter": _mutant_lic_weight_jitter,
     "weights-asymmetric": _mutant_weights_asymmetric,
     "lid-lock-drop": _mutant_lid_lock_drop,
     "lid-lock-forge": _mutant_lid_lock_forge,
+    "lid-truncation-off-by-one": _mutant_lid_truncation_off_by_one,
     "quota-inflate": _mutant_quota_inflate,
     "quota-starve": _mutant_quota_starve,
     "satisfaction-misscore": _mutant_satisfaction_misscore,

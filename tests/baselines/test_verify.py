@@ -1,6 +1,14 @@
 """Tests for the blocking-pair / stability certifiers."""
 
-from repro.baselines.verify import blocking_pairs, count_blocking_pairs, is_stable
+import pytest
+
+from repro.baselines.verify import (
+    blocking_pairs,
+    count_blocking_pairs,
+    count_weighted_blocking_pairs,
+    is_stable,
+    weighted_blocking_pairs,
+)
 from repro.core.matching import Matching
 from repro.core.preferences import PreferenceSystem
 
@@ -37,6 +45,75 @@ class TestBlockingPairs:
 
     def test_count(self, small_ps):
         assert count_blocking_pairs(small_ps, Matching(5)) == small_ps.m
+
+    def test_regression_pin_on_conformance_instance(self):
+        # pins the exact output of the hoisted worst-rank implementation
+        # on the conformance mutation instance: a refactor that changes
+        # tie-breaks, ordering or the rank comparison fails loudly here
+        from repro.core.lid import solve_lid
+        from repro.testing.strategies import InstanceSpec, generate_instance
+
+        ps = generate_instance(InstanceSpec(
+            family="er", n=18, preference_model="uniform",
+            quota_model="constant", quota=3, seed=0,
+        ))
+        empty = blocking_pairs(ps, Matching(ps.n))
+        assert empty == sorted(ps.edges())
+        res, wt = solve_lid(ps, backend="fast")
+        assert blocking_pairs(ps, res.matching) == [
+            (0, 3), (0, 6), (1, 6), (1, 17), (5, 11), (8, 14), (11, 16),
+        ]
+        truncated, _ = solve_lid(ps, backend="fast", max_rounds=1)
+        assert count_blocking_pairs(ps, truncated.matching) == 17
+
+    def test_matches_naive_would_accept_recomputation(self, small_ps):
+        # the hoisted worst-rank scan must agree with the per-pair
+        # _would_accept definition on every candidate edge
+        from repro.baselines.verify import _would_accept
+
+        for m in (
+            Matching(5),
+            Matching(5, [(0, 1)]),
+            Matching(5, [(0, 1), (1, 3), (2, 3)]),
+        ):
+            naive = [
+                (i, j) for i, j in small_ps.edges()
+                if not m.has_edge(i, j)
+                and _would_accept(small_ps, m, i, j)
+                and _would_accept(small_ps, m, j, i)
+            ]
+            assert blocking_pairs(small_ps, m) == naive
+
+
+class TestWeightedBlockingPairs:
+    def test_zero_exactly_at_the_lid_fixpoint(self):
+        from repro.core.lid import solve_lid
+        from repro.testing.strategies import random_ps
+
+        for seed in (0, 1, 2):
+            ps = random_ps(20, 0.3, 3, seed=seed, ensure_edges=True)
+            res, wt = solve_lid(ps, backend="fast")
+            assert count_weighted_blocking_pairs(ps, res.matching, wt) == 0
+            # ... while the rank-based notion generally is not zero:
+            # LID is almost-stable, not classically stable
+
+    def test_empty_matching_blocked_by_every_edge(self):
+        from repro.core.weights import satisfaction_weights
+        from repro.testing.strategies import random_ps
+
+        ps = random_ps(12, 0.4, 2, seed=3, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        assert weighted_blocking_pairs(ps, Matching(ps.n), wt) == sorted(ps.edges())
+
+    def test_mismatched_table_rejected(self):
+        from repro.core.weights import satisfaction_weights
+        from repro.testing.strategies import random_ps
+
+        ps = random_ps(10, 0.4, 2, seed=0, ensure_edges=True)
+        other = random_ps(11, 0.4, 2, seed=0, ensure_edges=True)
+        wt = satisfaction_weights(other)
+        with pytest.raises(ValueError, match="sized for"):
+            weighted_blocking_pairs(ps, Matching(ps.n), wt)
 
 
 class TestIsStable:

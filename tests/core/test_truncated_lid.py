@@ -1,0 +1,208 @@
+"""The shared truncation contract (satellite of the k-differential suite).
+
+For any round budget ``k``, all four static LID engines must return the
+*identical* feasible partial matching plus a consistent
+:class:`~repro.core.truncation.TruncationReport`; ``max_rounds=None``
+must reproduce today's untruncated outputs byte for byte.  These tests
+pin the contract property-style:
+
+- feasibility of the truncated matching at every ``k`` (validates
+  against the instance: quotas respected, edges exist);
+- blocking pairs — both the rank-based and the eq.-9 weighted count —
+  are monotone non-increasing in ``k`` (truncated matchings are nested:
+  locks are permanent);
+- a budget at or past the natural convergence round is bit-for-bit the
+  untruncated run, statistics included, with ``converged=True`` /
+  ``released_locks=0`` / weighted blocking pairs ``0`` / ratio ``1.0``;
+- the truncated matching is shard-count-invariant and engine-invariant
+  (reference simulator ≡ fast waves ≡ sharded ≡ fault-free resilient);
+- ``max_rounds=0`` is legal and yields the empty matching;
+- the validation layer rejects bools, negatives and mixed
+  ``max_rounds``/``max_time`` spellings.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.verify import (
+    count_blocking_pairs,
+    count_weighted_blocking_pairs,
+)
+from repro.core.fast import FastInstance
+from repro.core.fast_lid import lid_matching_fast
+from repro.core.lid import run_lid, solve_lid
+from repro.core.resilient_lid import run_resilient_lid
+from repro.core.sharded_lid import sharded_lid_matching
+from repro.core.truncation import validate_max_rounds
+from repro.core.weights import satisfaction_weights
+from repro.testing.strategies import (
+    InstanceSpec,
+    generate_instance,
+    preference_systems,
+    random_ps,
+)
+
+#: budgets spanning empty → partial → safely past quiescence
+KS = (0, 1, 2, 3, 5, 1 << 30)
+
+
+def _instances():
+    yield random_ps(24, 0.3, 3, seed=0, ensure_edges=True)
+    for family, seed in (("er", 1), ("geo", 2), ("ba", 3)):
+        yield generate_instance(InstanceSpec(
+            family=family, n=20, preference_model="uniform",
+            quota_model="constant", quota=3, seed=seed,
+        ))
+
+
+class TestFeasibilityAndReport:
+    @pytest.mark.parametrize("k", KS)
+    def test_truncated_matching_is_feasible(self, k):
+        for ps in _instances():
+            res, _ = solve_lid(ps, backend="fast", max_rounds=k)
+            res.matching.validate(ps)  # quotas + edge existence
+            t = res.truncation
+            assert t.max_rounds == k
+            assert 0 <= t.rounds <= k
+            assert t.released_locks >= 0
+            if t.converged:
+                assert t.released_locks == 0
+
+    def test_zero_budget_is_the_empty_matching(self):
+        ps = random_ps(16, 0.4, 2, seed=4, ensure_edges=True)
+        for backend in ("reference", "fast", "sharded"):
+            res, _ = solve_lid(ps, backend=backend, max_rounds=0)
+            assert res.matching.size() == 0
+            assert res.truncation.rounds == 0
+            assert not res.truncation.converged
+
+    def test_report_quality_fields_filled_by_solve_lid(self):
+        ps = random_ps(18, 0.35, 2, seed=5, ensure_edges=True)
+        res, _ = solve_lid(ps, backend="fast", max_rounds=2)
+        t = res.truncation
+        assert t.blocking_pairs is not None
+        assert t.weighted_blocking_pairs is not None
+        assert t.satisfaction is not None
+        assert 0.0 <= t.satisfaction_ratio <= 1.0 + 1e-12
+
+
+class TestMonotonicity:
+    def test_blocking_pairs_monotone_in_k_both_notions(self):
+        for ps in _instances():
+            prev_bp = prev_wbp = None
+            for k in KS:
+                res, _ = solve_lid(ps, backend="fast", max_rounds=k)
+                t = res.truncation
+                if prev_bp is not None:
+                    assert t.blocking_pairs <= prev_bp
+                    assert t.weighted_blocking_pairs <= prev_wbp
+                prev_bp, prev_wbp = t.blocking_pairs, t.weighted_blocking_pairs
+
+    def test_matchings_are_nested_in_k(self):
+        # the structural fact the monotonicity rests on: locks are
+        # permanent, so matching(k) ⊆ matching(k+1)
+        for ps in _instances():
+            prev = None
+            for k in KS:
+                res, _ = solve_lid(ps, backend="fast", max_rounds=k)
+                edges = res.matching.edge_set()
+                if prev is not None:
+                    assert prev <= edges
+                prev = edges
+
+
+class TestConvergedBudgetEqualsUntruncated:
+    def test_bit_identical_incl_statistics(self):
+        for ps in _instances():
+            full, _ = solve_lid(ps, backend="fast")
+            k = int(full.rounds) + 1
+            capped, _ = solve_lid(ps, backend="fast", max_rounds=k)
+            assert capped.matching.edge_set() == full.matching.edge_set()
+            assert capped.prop_messages == full.prop_messages
+            assert capped.rej_messages == full.rej_messages
+            assert capped.rounds == full.rounds
+            t = capped.truncation
+            assert t.converged and t.released_locks == 0
+            assert t.weighted_blocking_pairs == 0
+            assert t.satisfaction_ratio == pytest.approx(1.0)
+            # at the fixpoint the rank-based count equals the raw
+            # verifier's — LID is almost-stable, not classically stable
+            assert t.blocking_pairs == count_blocking_pairs(ps, full.matching)
+
+    @settings(max_examples=10, deadline=None)
+    @given(preference_systems(max_n=7))
+    def test_huge_budget_is_untruncated_property(self, ps):
+        full, _ = solve_lid(ps, backend="fast")
+        capped, _ = solve_lid(ps, backend="fast", max_rounds=1 << 30)
+        assert capped.matching.edge_set() == full.matching.edge_set()
+        assert capped.truncation.converged
+
+
+class TestEngineInvariance:
+    @pytest.mark.parametrize("k", (1, 2, 4))
+    def test_all_engines_agree_per_k(self, k):
+        for ps in _instances():
+            wt = satisfaction_weights(ps)
+            quotas = list(ps.quotas)
+            ref = run_lid(wt, quotas, max_rounds=k)
+            fast = lid_matching_fast(
+                FastInstance.from_preference_system(ps), max_rounds=k
+            )
+            resil = run_resilient_lid(wt, quotas, max_rounds=k)
+            edges = ref.matching.edge_set()
+            assert fast.matching.edge_set() == edges
+            assert resil.matching.edge_set() == edges
+            # the reference/fast pair are message twins even truncated
+            assert fast.prop_messages == sum(
+                nd.props_sent for nd in ref.nodes
+            )
+            assert fast.truncation.released_locks == \
+                ref.truncation.released_locks
+
+    @pytest.mark.parametrize("shards", (1, 2, 3, 7))
+    def test_shard_count_invariance(self, shards):
+        for ps in _instances():
+            fi = FastInstance.from_preference_system(ps)
+            for k in (1, 3, 1 << 30):
+                fast = lid_matching_fast(fi, max_rounds=k)
+                sharded = sharded_lid_matching(fi, shards=shards, max_rounds=k)
+                assert sharded.matching.edge_set() == fast.matching.edge_set()
+                assert sharded.truncation.released_locks == \
+                    fast.truncation.released_locks
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", (True, False, -1, 2.0, "3"))
+    def test_rejects_non_int_and_negative(self, bad):
+        with pytest.raises(ValueError, match="max_rounds"):
+            validate_max_rounds(bad)
+
+    def test_engines_route_through_validation(self):
+        ps = random_ps(8, 0.5, 2, seed=0, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        quotas = list(ps.quotas)
+        with pytest.raises(ValueError, match="max_rounds"):
+            run_lid(wt, quotas, max_rounds=-2)
+        with pytest.raises(ValueError, match="max_rounds"):
+            lid_matching_fast(ps, max_rounds=True)
+        with pytest.raises(ValueError, match="max_rounds"):
+            sharded_lid_matching(ps, max_rounds=-1)
+
+    def test_resilient_rejects_both_spellings(self):
+        ps = random_ps(8, 0.5, 2, seed=0, ensure_edges=True)
+        wt = satisfaction_weights(ps)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_resilient_lid(wt, list(ps.quotas), max_rounds=2, max_time=5.0)
+
+
+class TestWeightedBlockingPairs:
+    def test_zero_exactly_at_convergence(self):
+        for ps in _instances():
+            res, wt = solve_lid(ps, backend="fast")
+            assert count_weighted_blocking_pairs(ps, res.matching, wt) == 0
+
+    def test_positive_under_truncation_on_dense_instance(self):
+        ps = random_ps(24, 0.3, 3, seed=0, ensure_edges=True)
+        res, wt = solve_lid(ps, backend="fast", max_rounds=1)
+        assert not res.truncation.converged
+        assert count_weighted_blocking_pairs(ps, res.matching, wt) > 0

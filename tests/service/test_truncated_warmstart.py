@@ -1,0 +1,94 @@
+"""Truncated-LID warm-started full re-solves in the MatchingService.
+
+With ``warmstart_rounds=k`` set, every full re-solve seeds
+:func:`~repro.overlay.churn.greedy_repair` with the k-round truncated
+LID matching instead of starting cold.  The served matching must be
+*identical* to the cold solve (the no-weighted-blocking-edge fixpoint
+is unique, and the truncated matching nests inside it), the closing
+repair must do strictly less work than from-scratch, and the crash
+consistency story must be untouched: a killed-and-resumed warm run is
+byte-identical to an uninterrupted one.
+"""
+
+import json
+
+import pytest
+
+from repro.core.fast import FastInstance
+from repro.core.matching import Matching
+from repro.overlay.churn import greedy_repair
+from repro.service import ServiceConfig, kill_and_resume_check, run_service
+from repro.service.runner import build_service
+from repro.telemetry.sink import canonical_fields
+
+
+def _config(**overrides) -> ServiceConfig:
+    base = dict(n=50, events=30, seed=3, family="geo",
+                repair_budget=2, on_budget="resolve")
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+class TestWarmstartMatchesCold:
+    def test_initial_matching_identical(self):
+        cold = build_service(_config())
+        warm = build_service(_config(warmstart_rounds=3))
+        assert warm._partners == cold._partners
+        assert warm.last_warmstart is not None
+        assert not warm.last_warmstart.truncated
+
+    @pytest.mark.parametrize("k", (0, 1, 4, 1 << 30))
+    def test_full_run_report_identical_any_budget(self, k):
+        cold = run_service(_config()).report
+        warm = run_service(_config(warmstart_rounds=k)).report
+        drop = ("differential_checks", "differential_ok", "oracle_violations")
+        cb = canonical_fields(cold, drop=drop)
+        wb = canonical_fields(warm, drop=drop)
+        assert json.dumps(cb, sort_keys=True) == json.dumps(wb, sort_keys=True)
+        assert cold["matching_sha"] == warm["matching_sha"]
+
+
+class TestWarmstartSavesWork:
+    def test_fewer_resolutions_than_cold_repair(self):
+        result = run_service(_config(warmstart_rounds=3))
+        svc = result.service
+        ws = svc.last_warmstart
+        assert ws is not None
+        # the cold baseline on the same final instance: greedy repair
+        # from the empty matching must resolve every LIC edge itself
+        ps, _, _ = svc._compact_instance()
+        fi = FastInstance.from_preference_system(ps)
+        cold_stats = greedy_repair(
+            fi.weight_table(), list(ps.quotas), Matching(ps.n), range(ps.n)
+        )
+        assert ws.resolutions < cold_stats.resolutions
+
+    def test_converged_warmstart_needs_no_resolutions(self):
+        # a budget past quiescence hands the exact fixpoint to the
+        # repair, which then has nothing to do
+        svc = build_service(_config(warmstart_rounds=1 << 30))
+        assert svc.last_warmstart.resolutions == 0
+
+
+class TestCrashConsistency:
+    def test_kill_and_resume_identity_with_warmstart(self):
+        out = kill_and_resume_check(_config(warmstart_rounds=3))
+        assert out["identical"], out["mismatches"]
+        assert out["guard_violations"] == 0
+        assert out["differential_ok"]
+
+
+class TestValidation:
+    def test_config_rejects_negative(self):
+        with pytest.raises(ValueError, match="warmstart_rounds"):
+            _config(warmstart_rounds=-1)
+
+    def test_service_rejects_bool(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            build_service(_config())  # sanity: cold build fine
+            from repro.service.service import MatchingService
+
+            svc = build_service(_config())
+            MatchingService.restore(
+                svc.snapshot(), _config().metric(), warmstart_rounds=True
+            )

@@ -7,6 +7,7 @@ from repro.testing.differential import (
     DEFAULT_PIPELINES,
     PIPELINES,
     REFERENCE_PIPELINE,
+    TRUNCATED_PIPELINES,
     run_differential,
     run_pipeline,
 )
@@ -21,10 +22,20 @@ from repro.testing.strategies import (
 
 class TestPipelines:
     def test_registry_covers_all_backends(self):
-        assert set(PIPELINES) == {
+        base = {
             "lic-reference", "lic-fast", "lid-reference", "lid-fast",
             "lid-sharded", "lid-resilient",
         }
+        # the defaults are exactly the untruncated six: truncated
+        # pipelines are opt-in and must never leak into default sweeps
+        assert set(DEFAULT_PIPELINES) == base
+        truncated = {
+            f"lid-truncated-{engine}@{label}"
+            for engine in ("reference", "fast", "sharded", "resilient")
+            for label in ("k1", "k3", "kinf")
+        }
+        assert set(PIPELINES) == base | truncated
+        assert set(TRUNCATED_PIPELINES) == truncated
         assert REFERENCE_PIPELINE in DEFAULT_PIPELINES
 
     @pytest.mark.parametrize("name", sorted(PIPELINES))
@@ -95,8 +106,10 @@ class TestMutationsAreCaught:
             family="er", n=18, preference_model="uniform",
             quota_model="constant", quota=3, seed=0,
         ))
+        from repro.testing.conformance import mutation_bases
+
         report = run_differential(
-            ps, pipelines=("lic-reference", "lid-fast"),
+            ps, pipelines=mutation_bases(mutation),
             extra_pipelines={f"mutant:{mutation}": mutant_pipeline(mutation)},
         )
         tag = f"mutant:{mutation}"
